@@ -1,0 +1,84 @@
+"""Distance-constrained reliability search (the [20] query class).
+
+The paper positions RQ-tree against Jin et al.'s distance-constrained
+reachability [20]; this library answers that query class natively via
+``max_hops``.  This bench measures the hop-budget dimension:
+
+* answer sizes grow monotonically with the hop budget, converging to
+  the unconstrained answer;
+* RQ-tree-LB under a hop budget stays faster than hop-bounded
+  MC-Sampling;
+* accuracy against the hop-bounded MC proxy matches the unconstrained
+  pattern (perfect LB precision).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.eval.metrics import precision
+from repro.eval.reporting import format_table
+from repro.eval.workload import single_source_workload
+from repro.reliability.montecarlo import mc_sampling_search
+
+from conftest import NUM_SAMPLES, write_result
+
+ETA = 0.5
+HOPS = (1, 2, 4, 8, None)
+QUERIES = 8
+
+
+def test_hop_constrained(engines, benchmark):
+    graph, engine = engines("biomine")
+    sources = single_source_workload(graph, QUERIES, seed=6)
+
+    def run():
+        rows = []
+        prev_sizes = None
+        for hops in HOPS:
+            sizes, lb_times, mc_times, precisions = [], [], [], []
+            for i, s in enumerate(sources):
+                start = time.perf_counter()
+                result = engine.query(s, ETA, method="lb", max_hops=hops)
+                lb_times.append(time.perf_counter() - start)
+                sizes.append(len(result.nodes))
+
+                start = time.perf_counter()
+                proxy = mc_sampling_search(
+                    graph, s, ETA, num_samples=NUM_SAMPLES,
+                    seed=60 + i, max_hops=hops,
+                )
+                mc_times.append(time.perf_counter() - start)
+                precisions.append(precision(result.nodes, proxy.nodes))
+            rows.append(
+                (
+                    "inf" if hops is None else hops,
+                    statistics.fmean(sizes),
+                    statistics.fmean(precisions),
+                    statistics.fmean(lb_times),
+                    statistics.fmean(mc_times),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "hop_constrained",
+        format_table(
+            ["max hops", "mean |answer|", "LB precision vs hop-MC",
+             "t(rq-lb) s", "t(MC) s"],
+            rows,
+            title=f"Distance-constrained queries (biomine-like, eta={ETA})",
+        ),
+    )
+    # Shape 1: answers grow with the hop budget and converge.
+    sizes = [r[1] for r in rows]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] == pytest.approx(sizes[-2], abs=max(1.0, 0.2 * sizes[-1]))
+    # Shape 2: LB stays fast and essentially exact under hop budgets.
+    for row in rows:
+        assert row[2] >= 0.9, row
+        assert row[3] < row[4], row

@@ -1,0 +1,65 @@
+"""Table 5: RQ-tree statistics and index building time.
+
+The paper reports build time (seconds), index size (MB), tree height,
+and cluster count for DBLP (mu=5), Flickr, and BioMine.  Absolute
+numbers scale with graph size; the reproduced shapes are (a) height
+stays logarithmic in n, (b) cluster count is ~2n-1 (binary splits), and
+(c) build cost is modest (minutes on the paper's 1M-node graphs, well
+under a minute at our scale).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import build_rqtree, load_dataset
+from repro.eval.reporting import format_table
+
+from conftest import write_result
+
+DATASETS = ("dblp5", "flickr", "biomine")
+N = 3000
+
+
+def _build_all():
+    rows = []
+    for name in DATASETS:
+        graph = load_dataset(name, n=N, seed=0)
+        tree, report = build_rqtree(graph, seed=0)
+        rows.append(
+            (
+                name,
+                graph.num_nodes,
+                graph.num_arcs,
+                report.build_seconds,
+                report.storage_megabytes,
+                report.height,
+                report.num_clusters,
+            )
+        )
+    return rows
+
+
+def test_table5_report(benchmark):
+    rows = benchmark.pedantic(_build_all, rounds=1, iterations=1)
+    write_result(
+        "table5_index",
+        format_table(
+            ["dataset", "nodes", "arcs", "time (s)", "size (MB)",
+             "height", "# clusters"],
+            rows,
+            title=f"Table 5 [n={N} stand-ins]: RQ-tree statistics and "
+            "index building time",
+        ),
+    )
+    for name, n, m, seconds, size_mb, height, clusters in rows:
+        # Binary recursion: exactly 2n - 1 clusters.
+        assert clusters == 2 * n - 1, name
+        # Balanced: height within a constant factor of log2(n)
+        # (paper: height 11-15 for 78k-1M nodes).
+        assert height <= 3 * math.log2(n), name
+        # Build completes in reasonable time at this scale.
+        assert seconds < 60, name
+        assert size_mb > 0, name

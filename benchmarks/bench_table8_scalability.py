@@ -1,0 +1,84 @@
+"""Table 8: scalability on the WebGraph-like dataset.
+
+The paper sweeps uk-2007 subgraphs from 1M to 10M nodes, reporting index
+size/height/cluster count/build time and single-source query time
+(eta = 0.6).  Reproduced shapes at our scale (2k -> 12k nodes):
+
+* index build time grows roughly like (n + m) log n (superlinear but
+  polynomial);
+* index size and cluster count grow linearly-ish in n;
+* query time grows far slower than the graph (the paper reports
+  0.11s -> 0.27s over a 10x size increase).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro import RQTreeEngine, load_dataset
+from repro.eval.reporting import format_table
+from repro.eval.workload import single_source_workload
+
+from conftest import write_result
+
+SIZES = (2000, 4000, 8000, 12000)
+ETA = 0.6
+QUERIES = 6
+
+
+def _run():
+    rows = []
+    for n in SIZES:
+        graph = load_dataset("webgraph", n=n, seed=0)
+        start = time.perf_counter()
+        engine = RQTreeEngine.build(graph, seed=0)
+        build_seconds = time.perf_counter() - start
+        report = engine.build_report
+        times = []
+        for s in single_source_workload(graph, QUERIES, seed=3):
+            result = engine.query(s, ETA, method="lb")
+            times.append(result.total_seconds)
+        rows.append(
+            (
+                n,
+                graph.num_arcs,
+                report.storage_megabytes,
+                report.height,
+                report.num_clusters,
+                build_seconds,
+                statistics.fmean(times),
+            )
+        )
+    return rows
+
+
+def test_table8_report(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_result(
+        "table8_scalability",
+        format_table(
+            ["nodes", "arcs", "size (MB)", "height", "# clusters",
+             "index time (s)", "query time (s)"],
+            rows,
+            title=f"Table 8: scalability on webgraph-like (eta={ETA}, "
+            "single-source RQ-tree-LB)",
+        ),
+    )
+
+    first, last = rows[0], rows[-1]
+    scale = last[0] / first[0]
+    # Shape 1: cluster count exactly tracks n (2n - 1 clusters).
+    for row in rows:
+        assert row[4] == 2 * row[0] - 1
+    # Shape 2: height grows by O(log n): +log2(scale) within slack.
+    import math
+
+    assert last[3] <= first[3] + 3 * math.ceil(math.log2(scale))
+    # Shape 3: query time grows sublinearly vs graph size (paper: 2.5x
+    # over a 10x size increase; allow generous slack for variance).
+    assert last[6] <= first[6] * scale, (first, last)
+    # Shape 4: index build stays polynomial and practical.
+    assert last[5] < 10 * 60

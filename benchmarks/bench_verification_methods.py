@@ -1,0 +1,82 @@
+"""Verification-method ladder: lb vs lb+ vs mc.
+
+The paper offers two verification strategies trading precision against
+recall (Section 5).  The extension adds a third rung: edge-packing
+(`lb+`), which keeps LB's perfect precision while certifying multipath-
+reliable nodes through arc-disjoint path packing.  This bench measures
+the full ladder across datasets:
+
+expected shape — recall(lb) <= recall(lb+) <= recall(mc) with
+precision(lb) = precision(lb+) = 1 (up to proxy noise) and cost
+t(lb) <= t(lb+) << t(mc at the paper's K).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.eval.metrics import precision, recall
+from repro.eval.reporting import format_table
+from repro.eval.workload import single_source_workload
+from repro.reliability.montecarlo import mc_sampling_search
+
+from conftest import NUM_SAMPLES, write_result
+
+DATASETS = ("dblp2", "flickr", "biomine")
+ETA = 0.5
+QUERIES = 8
+METHODS = ("lb", "lb+", "mc")
+
+
+def test_verification_ladder(engines, benchmark):
+    def run():
+        rows = []
+        stats = {}
+        for name in DATASETS:
+            graph, engine = engines(name)
+            sources = single_source_workload(graph, QUERIES, seed=9)
+            per_method = {
+                m: {"p": [], "r": [], "t": []} for m in METHODS
+            }
+            for i, s in enumerate(sources):
+                proxy = mc_sampling_search(
+                    graph, s, ETA, num_samples=NUM_SAMPLES, seed=90 + i
+                ).nodes
+                for m in METHODS:
+                    result = engine.query(
+                        s, ETA, method=m, num_samples=NUM_SAMPLES, seed=i
+                    )
+                    per_method[m]["p"].append(precision(result.nodes, proxy))
+                    per_method[m]["r"].append(recall(result.nodes, proxy))
+                    per_method[m]["t"].append(result.total_seconds)
+            for m in METHODS:
+                row = (
+                    name,
+                    m,
+                    statistics.fmean(per_method[m]["p"]),
+                    statistics.fmean(per_method[m]["r"]),
+                    statistics.fmean(per_method[m]["t"]),
+                )
+                rows.append(row)
+                stats[(name, m)] = row
+        return rows, stats
+
+    rows, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "verification_ladder",
+        format_table(
+            ["dataset", "method", "precision", "recall", "time (s)"],
+            rows,
+            title=f"Verification ladder: lb / lb+ / mc (eta={ETA}, "
+            f"{QUERIES} queries/dataset)",
+        ),
+    )
+    for name in DATASETS:
+        # Shape 1: recall ladder (allow 2% noise slack between rungs).
+        assert stats[(name, "lb")][3] <= stats[(name, "lb+")][3] + 0.02, name
+        assert stats[(name, "lb+")][3] <= stats[(name, "mc")][3] + 0.05, name
+        # Shape 2: both LB rungs keep essentially perfect precision.
+        assert stats[(name, "lb")][2] >= 0.9, name
+        assert stats[(name, "lb+")][2] >= 0.9, name

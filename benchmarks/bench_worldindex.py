@@ -1,0 +1,106 @@
+"""Index design shoot-out: RQ-tree vs the sampled-worlds index.
+
+The paper's central bet is that spending the offline budget on
+*structure* (a hierarchy of cuts evaluated online) beats spending it on
+*stored probability* (pre-sampled worlds).  This bench makes the bet
+concrete on one dataset: index size, build time, query time, and
+accuracy for the RQ-tree (LB and MC variants) against a
+:class:`~repro.core.worldindex.WorldIndex` at the same K as the MC
+verifier.
+
+Expected shape: the WorldIndex matches MC-level accuracy (it *is* MC
+with frozen samples) but its storage exceeds the RQ-tree's by orders of
+magnitude and its query time scales with K times the reached set,
+whereas RQ-tree-LB stays local and faster.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro import RQTreeEngine, load_dataset
+from repro.core.worldindex import WorldIndex
+from repro.eval.metrics import precision, recall
+from repro.eval.reporting import format_table
+from repro.eval.workload import single_source_workload
+from repro.reliability.montecarlo import mc_sampling_search
+
+from conftest import write_result
+
+N = 2000
+K = 500
+ETA = 0.6
+QUERIES = 8
+
+
+def test_worldindex_tradeoff(benchmark):
+    graph = load_dataset("dblp5", n=N, seed=0)
+
+    def run():
+        start = time.perf_counter()
+        engine = RQTreeEngine.build(graph, seed=0)
+        rqtree_build = time.perf_counter() - start
+
+        start = time.perf_counter()
+        world_index = WorldIndex(graph, num_worlds=K, seed=0)
+        world_build = time.perf_counter() - start
+
+        sources = single_source_workload(graph, QUERIES, seed=1)
+        rows = []
+        metrics = {}
+        for name in ("rq-tree-lb", "rq-tree-mc", "world-index"):
+            times, precisions, recalls = [], [], []
+            for i, s in enumerate(sources):
+                proxy = mc_sampling_search(
+                    graph, s, ETA, num_samples=K, seed=500 + i
+                ).nodes
+                start = time.perf_counter()
+                if name == "rq-tree-lb":
+                    answer = engine.query(s, ETA, method="lb").nodes
+                elif name == "rq-tree-mc":
+                    answer = engine.query(
+                        s, ETA, method="mc", num_samples=K, seed=i
+                    ).nodes
+                else:
+                    answer = world_index.query(s, ETA)
+                times.append(time.perf_counter() - start)
+                precisions.append(precision(answer, proxy))
+                recalls.append(recall(answer, proxy))
+            build_seconds = world_build if name == "world-index" else rqtree_build
+            size_mb = (
+                world_index.storage_size_estimate() / 2**20
+                if name == "world-index"
+                else engine.tree.storage_size_estimate() / 2**20
+            )
+            row = (
+                name,
+                build_seconds,
+                size_mb,
+                statistics.fmean(times),
+                statistics.fmean(precisions),
+                statistics.fmean(recalls),
+            )
+            rows.append(row)
+            metrics[name] = row
+        return rows, metrics
+
+    rows, metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "worldindex_tradeoff",
+        format_table(
+            ["index", "build (s)", "size (MB)", "query (s)",
+             "precision", "recall"],
+            rows,
+            title=f"Index shoot-out: RQ-tree vs sampled-worlds index "
+            f"(dblp5-like n={N}, K={K}, eta={ETA})",
+        ),
+    )
+    # Shape 1: the worlds index pays a storage premium over the RQ-tree.
+    assert metrics["world-index"][2] > metrics["rq-tree-lb"][2]
+    # Shape 2: RQ-tree-LB is the fastest at query time.
+    assert metrics["rq-tree-lb"][3] <= metrics["world-index"][3]
+    # Shape 3: the worlds index matches MC-level recall.
+    assert metrics["world-index"][5] >= 0.85

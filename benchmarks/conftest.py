@@ -1,0 +1,55 @@
+"""Shared fixtures and helpers for the paper-reproduction benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md §5 for the experiment index).  Results are printed and
+also written to ``benchmarks/results/<experiment>.txt`` so the output
+survives pytest's capture; EXPERIMENTS.md records the paper-vs-measured
+comparison.
+
+Scale note: the paper ran C++ on graphs up to 10M nodes; this pure-Python
+reproduction uses the synthetic stand-ins of :mod:`repro.datasets` at
+1.5k-12k nodes.  Absolute times differ by construction — the *shape*
+(who wins, trends in eta / |S| / d / n) is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import RQTreeEngine, load_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark-wide dataset scale (nodes per dataset unless overridden).
+QUALITY_N = 2000
+#: Monte-Carlo samples (the paper uses 1000; see Section 7.1).
+NUM_SAMPLES = 800
+#: Queries averaged per configuration (paper: 100).
+NUM_QUERIES = 10
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist one experiment's rendered output under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    # Also echo to stdout for -s runs.
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def engines():
+    """Lazily built (graph, engine) pairs per dataset name."""
+    cache = {}
+
+    def get(name: str, n: int = QUALITY_N, seed: int = 0):
+        key = (name, n, seed)
+        if key not in cache:
+            graph = load_dataset(name, n=n, seed=seed)
+            cache[key] = (graph, RQTreeEngine.build(graph, seed=seed))
+        return cache[key]
+
+    return get

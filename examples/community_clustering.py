@@ -1,0 +1,62 @@
+"""Reliable clustering: finding communities in an uncertain graph.
+
+The paper's related work cites reliable clustering (Liu et al., ICDM
+2012): grouping nodes so that members are *reliably* connected to a
+representative, which plain (deterministic) community detection gets
+wrong on uncertain graphs — a dense cluster of improbable arcs is not a
+community.
+
+This example builds a protein-interaction-style network with planted
+modules, runs greedy reliability k-center clustering at two thresholds,
+and shows how raising eta sharpens the clusters (fewer, more certain
+members).
+
+Run:  python examples/community_clustering.py
+"""
+
+from __future__ import annotations
+
+from repro import RQTreeEngine, load_dataset
+from repro.apps.clustering import clustering_coverage, reliable_kcenter
+
+
+def main() -> None:
+    graph = load_dataset("biomine", n=600, seed=3)
+    print(
+        f"interaction network: {graph.num_nodes} nodes, "
+        f"{graph.num_arcs} arcs"
+    )
+    engine = RQTreeEngine.build(graph, seed=3)
+    k = 12
+
+    for eta in (0.3, 0.6):
+        clustering = reliable_kcenter(engine, k=k, eta=eta, method="mc",
+                                      num_samples=300, seed=0)
+        coverage = clustering_coverage(clustering, graph.num_nodes)
+        sizes = sorted(
+            (len(clustering.members(c)) for c in clustering.centers),
+            reverse=True,
+        )
+        print(
+            f"\neta = {eta}: {len(clustering.centers)} clusters cover "
+            f"{coverage:.0%} of the graph "
+            f"({clustering.queries_issued} index queries, "
+            f"{clustering.seconds:.2f}s)"
+        )
+        print(f"  cluster sizes: {sizes}")
+        largest = clustering.centers[0]
+        members = sorted(clustering.members(largest))
+        print(
+            f"  largest cluster (center {largest}): "
+            f"{members[:12]}{'...' if len(members) > 12 else ''}"
+        )
+
+    print(
+        "\nHigher eta -> fewer reliably attached members per cluster: the "
+        "clustering\ntrades coverage for certainty, which is the point of "
+        "clustering *reliably*."
+    )
+
+
+if __name__ == "__main__":
+    main()

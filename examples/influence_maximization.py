@@ -1,0 +1,73 @@
+"""Viral marketing: influence maximization with the RQ-tree (Section 7.7).
+
+Selects seed users that maximize the expected cascade spread under the
+independent cascade model, comparing the classic Greedy + Monte-Carlo
+pipeline with the paper's RQ-tree-accelerated variant (histogram spread
+estimation over a handful of reliability-search queries).
+
+Run:  python examples/influence_maximization.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import RQTreeEngine, load_dataset
+from repro.influence.greedy import greedy_mc, greedy_rqtree
+from repro.influence.spread import expected_spread_mc
+
+
+def main() -> None:
+    graph = load_dataset("lastfm", n=800, seed=2)
+    print(
+        f"social network: {graph.num_nodes} users, {graph.num_arcs} "
+        f"influence arcs (weighted cascade)"
+    )
+    k = 5
+
+    # Restrict the candidate pool to plausible influencers so the MC
+    # baseline finishes quickly (the paper uses the full node set on a
+    # C++ implementation; the comparison shape is unchanged).
+    pool = sorted(graph.nodes(), key=graph.out_degree, reverse=True)[:60]
+
+    print(f"\nselecting k = {k} seeds from a pool of {len(pool)} users\n")
+
+    start = time.perf_counter()
+    trace_mc = greedy_mc(
+        graph, k, num_samples=1000, seed=0, candidates=pool, use_celf=True
+    )  # K = 1000 samples per oracle call, the paper's setting
+    time_mc = time.perf_counter() - start
+
+    engine = RQTreeEngine.build(graph, seed=2)
+    start = time.perf_counter()
+    trace_rq = greedy_rqtree(
+        engine, k, thresholds=(0.2, 0.4, 0.6, 0.8), candidates=pool
+    )
+    time_rq = time.perf_counter() - start
+
+    # Final accuracy yardstick: MC spread of both seed sets (Figure 5's
+    # evaluation protocol).
+    spread_mc = expected_spread_mc(graph, trace_mc.seeds, num_samples=1000, seed=9)
+    spread_rq = expected_spread_mc(graph, trace_rq.seeds, num_samples=1000, seed=9)
+
+    print("method          seeds                          spread   time")
+    print(
+        f"Greedy+MC       {str(trace_mc.seeds):28s}  "
+        f"{spread_mc:7.2f}  {time_mc:6.2f}s"
+    )
+    print(
+        f"Greedy+RQ-tree  {str(trace_rq.seeds):28s}  "
+        f"{spread_rq:7.2f}  {time_rq:6.2f}s"
+    )
+    print(
+        f"\nRQ-tree variant achieves {spread_rq / max(spread_mc, 1e-9):.0%} "
+        f"of the MC spread at {time_mc / max(time_rq, 1e-9):.1f}x the speed"
+    )
+    print(
+        f"oracle calls: MC Greedy {trace_mc.evaluations}, "
+        f"RQ-tree Greedy {trace_rq.evaluations} (CELF lazy evaluation)"
+    )
+
+
+if __name__ == "__main__":
+    main()

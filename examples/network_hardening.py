@@ -1,0 +1,50 @@
+"""Network hardening: spending an upgrade budget where it matters.
+
+The inverse of reliability search: an operator of an unreliable network
+(a utility grid, a sensor mesh, a logistics network) can afford to make
+a handful of links certain — wire a radio link, reinforce a bridge.
+Which upgrades grow the reliably-served region the most?
+
+This example plans a 5-upgrade budget on a sensor-mesh-like network and
+reports the reliable-set growth per upgrade.
+
+Run:  python examples/network_hardening.py
+"""
+
+from __future__ import annotations
+
+from repro import load_dataset
+from repro.apps.hardening import greedy_hardening
+
+
+def main() -> None:
+    graph = load_dataset("lastfm", n=400, seed=6)
+    print(
+        f"network: {graph.num_nodes} nodes, {graph.num_arcs} unreliable links"
+    )
+    source = max(graph.nodes(), key=graph.out_degree)
+    eta = 0.5
+    print(f"service source: node {source}, reliability threshold {eta}\n")
+
+    plan = greedy_hardening(
+        graph, [source], budget=5, eta=eta, max_candidates_per_round=12
+    )
+    print(
+        f"baseline: {plan.baseline_size} nodes reliably served "
+        f"(before any upgrade)"
+    )
+    for i, (arc, size) in enumerate(zip(plan.upgrades, plan.reliable_sizes)):
+        print(
+            f"upgrade {i + 1}: make link {arc} certain "
+            f"-> {size} nodes served "
+            f"(+{size - (plan.reliable_sizes[i - 1] if i else plan.baseline_size)})"
+        )
+    print(
+        f"\ntotal gain: +{plan.gain} reliably served nodes for "
+        f"{len(plan.upgrades)} upgrades "
+        f"({plan.queries_issued} engine queries, {plan.seconds:.2f}s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""A guided tour of the paper, executed live.
+
+Walks through the paper's running example and every major theorem with
+the library's machinery, printing the computed value next to the value
+the paper states.  Reading this side by side with the paper (Sections
+2-6) is the fastest way to connect the math to the code.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import RQTreeEngine, build_rqtree
+from repro.core.outreach import (
+    combine_upper_bounds,
+    general_outreach_upper_bound,
+    outreach_upper_bound,
+)
+from repro.graph.exact import (
+    exact_outreach,
+    exact_reliability,
+    exact_reliability_search,
+)
+from repro.graph.generators import figure1_graph
+from repro.graph.paths import most_likely_path
+
+
+def section(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    graph, names = figure1_graph()
+    s, u, v, w, t = (names[k] for k in "suvwt")
+
+    section("Section 2 — possible-world semantics and Problem 1")
+    print("The Figure 1 graph has", graph.num_arcs, "arcs, hence",
+          2 ** graph.num_arcs, "possible worlds.")
+    r_su = exact_reliability(graph, [s], u)
+    print(f"Example 1: R(s, u) = 1 - (1-0.5)(1-0.6*0.5) = 0.65; "
+          f"computed {r_su:.4f}")
+    answer = exact_reliability_search(graph, [s], 0.5)
+    labels = sorted(k for k, node in names.items() if node in answer)
+    print(f"Example 1: RS({{s}}, 0.5) = {{s, u, w}}; computed {labels}")
+
+    section("Section 4.1 — outreach probability and its upper bound")
+    cluster_sw = {s, w}
+    exact_out = exact_outreach(graph, [s], cluster_sw)
+    bound = outreach_upper_bound(graph, [s], cluster_sw)
+    print(f"R_out({{s}}, {{s,w}}) exact        = {exact_out:.4f}")
+    print(f"U_out({{s}}, {{s,w}}) (Thm 1-2)    = {bound.upper_bound:.4f} "
+          "(paper Figure 2: 0.80)")
+    print(f"  via max-flow f* = {bound.max_flow:.4f} on a subgraph of "
+          f"{bound.subgraph_nodes} nodes (Observation 3)")
+
+    cluster_suw = {s, u, w}
+    bound2 = outreach_upper_bound(graph, [s], cluster_suw)
+    print(f"U_out({{s}}, {{s,u,w}})            = {bound2.upper_bound:.4f} "
+          "(paper Figure 2: 0.496)")
+    print("Example 2: with eta = 0.5 every node outside {s,u,w} is pruned,")
+    print("because 0.496 < 0.5 certifies the cluster (Observation 1).")
+
+    section("Section 4.3 — multi-source combination (Lemma 1 / Theorem 3)")
+    b1 = outreach_upper_bound(graph, [s], {s}).upper_bound
+    b2 = outreach_upper_bound(graph, [t], {t, v}).upper_bound
+    combined = combine_upper_bounds([b1, b2])
+    print(f"U_out({{s}},{{s}}) = {b1:.4f}, U_out({{t}},{{t,v}}) = {b2:.4f}")
+    print(f"combined bound 1 - prod(1-U_i) = {combined:.4f} "
+          "(valid for the union, Lemma 1)")
+
+    section("Section 5.1 — most-likely-path lower bound (Theorem 4)")
+    prob, path = most_likely_path(graph, [s], u)
+    label_path = [k for node in path for k, n in names.items() if n == node]
+    print(f"most likely s->u path: {label_path} with probability "
+          f"{prob:.4f} <= R(s, u) = {r_su:.4f}")
+    print("At eta = 0.6 the LB verifier therefore *misses* u "
+          "(a false negative),")
+    print("while at eta = 0.5 it keeps u — matching RQ-tree-LB's "
+          "documented recall trade-off.")
+
+    section("Section 5 — Theorem 5's general bound")
+    cheap = general_outreach_upper_bound(graph, cluster_suw)
+    print(f"U-bar_out({{s,u,w}}) = {cheap:.4f} >= U_out = "
+          f"{bound2.upper_bound:.4f} (source-independent, so cacheable)")
+
+    section("Section 6 — building the RQ-tree (Algorithm 2)")
+    tree, report = build_rqtree(graph, seed=1)
+    print(f"tree: {report.num_clusters} clusters, height {report.height}, "
+          f"built in {report.build_seconds * 1000:.1f} ms")
+    path_sizes = [c.size for c in tree.path_to_root(s)]
+    print(f"leaf-to-root cluster sizes above s: {path_sizes}")
+
+    section("Putting it together — the full query pipeline")
+    engine = RQTreeEngine(graph, tree)
+    result = engine.query(s, 0.5, method="lb")
+    print(result.explain())
+    labels = sorted(k for k, node in names.items() if node in result.nodes)
+    print(f"\nfinal answer: {labels} (paper: ['s', 'u', 'w'])")
+
+
+if __name__ == "__main__":
+    main()

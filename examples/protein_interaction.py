@@ -1,0 +1,87 @@
+"""Protein-interaction scenario: predicting co-complex membership.
+
+The paper's motivating bio-informatics application (Section 1, citing
+Asthana et al.): given a *core* of proteins known to belong to a complex,
+find every protein that is evidently (with high probability) reachable
+from the core through the noisy interaction network — exactly a
+multiple-source reliability-search query.
+
+This example builds a BioMine-like interaction network, picks a core of
+interacting proteins, and compares the RQ-tree answers with the
+Monte-Carlo estimate, printing the ranked candidate co-complex members.
+
+Run:  python examples/protein_interaction.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import RQTreeEngine, load_dataset, mc_sampling_search
+from repro.eval.metrics import PrecisionRecall
+from repro.graph.traversal import induced_ball
+
+
+def pick_core(graph, size: int = 3):
+    """Choose a plausible complex core: tightly linked nearby proteins."""
+    # Take the highest-out-degree protein and its closest neighbours.
+    hub = max(graph.nodes(), key=graph.out_degree)
+    neighbourhood = sorted(induced_ball(graph, hub, 1))
+    core = [hub] + [v for v in neighbourhood if v != hub][: size - 1]
+    return core
+
+
+def main() -> None:
+    graph = load_dataset("biomine", n=2000, seed=1)
+    print(
+        f"interaction network: {graph.num_nodes} proteins, "
+        f"{graph.num_arcs} interactions"
+    )
+
+    engine = RQTreeEngine.build(graph, seed=1)
+    core = pick_core(graph)
+    eta = 0.6
+    print(f"core proteins: {core}, threshold eta = {eta}")
+    print()
+
+    # High-recall search (RQ-tree-MC): the paper recommends it for this
+    # application, where missing a true co-complex member is costly.
+    start = time.perf_counter()
+    result = engine.query(core, eta, method="mc", num_samples=800, seed=0)
+    elapsed = time.perf_counter() - start
+    members = sorted(result.nodes - set(core))
+    print(
+        f"RQ-tree-MC found {len(members)} candidate co-complex members "
+        f"in {elapsed * 1000:.1f} ms"
+    )
+
+    # Rank members by estimated reliability for presentation.
+    proxy = mc_sampling_search(graph, core, eta, num_samples=800, seed=3)
+    ranked = sorted(
+        members,
+        key=lambda v: proxy.frequencies.get(v, 0.0),
+        reverse=True,
+    )
+    print("top candidates (protein id, estimated reachability):")
+    for protein in ranked[:10]:
+        print(f"  {protein:5d}  {proxy.frequencies.get(protein, 0.0):.3f}")
+    print()
+
+    # Quality against the whole-graph Monte-Carlo proxy.
+    pr = PrecisionRecall.of(result.nodes, proxy.nodes)
+    print(
+        f"vs whole-graph MC proxy: precision = {pr.precision:.3f}, "
+        f"recall = {pr.recall:.3f} (proxy time {proxy.seconds * 1000:.1f} ms)"
+    )
+
+    # The high-precision variant for comparison.
+    result_lb = engine.query(core, eta, method="lb")
+    pr_lb = PrecisionRecall.of(result_lb.nodes, proxy.nodes)
+    print(
+        f"RQ-tree-LB (perfect precision mode): {len(result_lb.nodes)} nodes, "
+        f"precision = {pr_lb.precision:.3f}, recall = {pr_lb.recall:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

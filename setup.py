@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build the
+editable wheel.  This shim lets ``python setup.py develop`` (and pip's
+legacy fallback) install the package from pyproject metadata instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,154 @@
+"""repro — reproduction of "Fast Reliability Search in Uncertain Graphs".
+
+A. Khan, F. Bonchi, A. Gionis, F. Gullo, EDBT 2014.
+
+The library answers **reliability-search queries** ``RS(S, η)`` — all
+nodes reachable from a source set ``S`` with probability at least ``η``
+in an uncertain (probabilistic) directed graph — through the paper's
+RQ-tree index, with the two baselines (whole-graph Monte-Carlo sampling
+and RHT-style recursive sampling) and the influence-maximization
+application included.
+
+Quickstart::
+
+    from repro import UncertainGraph, RQTreeEngine
+
+    g = UncertainGraph.from_arcs([(0, 1, 0.9), (1, 2, 0.8), (0, 3, 0.3)])
+    engine = RQTreeEngine.build(g, seed=7)
+    result = engine.query(0, eta=0.5)          # RQ-tree-LB
+    print(sorted(result.nodes))                # -> [0, 1, 2]
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .errors import (
+    ReproError,
+    GraphError,
+    InvalidProbabilityError,
+    InvalidThresholdError,
+    NodeNotFoundError,
+    EmptySourceSetError,
+    IndexCorruptionError,
+    FlowError,
+    InvalidCapacityError,
+    PartitionError,
+)
+from .graph.uncertain import UncertainGraph, SubgraphView
+from .core.rqtree import RQTree, ClusterNode
+from .core.builder import build_rqtree, BuildReport
+from .core.engine import RQTreeEngine, QueryResult
+from .core.candidates import (
+    CandidateResult,
+    generate_candidates,
+    single_source_candidates,
+    multi_source_candidates_greedy,
+    multi_source_candidates_exact,
+)
+from .core.outreach import (
+    outreach_upper_bound,
+    general_outreach_upper_bound,
+    combine_upper_bounds,
+    OutreachComputation,
+)
+from .core.verification import (
+    verify_lower_bound,
+    verify_lower_bound_packing,
+    verify_sampling,
+)
+from .core.detection import (
+    DetectionResult,
+    detect_reliability,
+    reliability_scores,
+    top_k_reliable,
+)
+from .core.maintenance import DynamicRQTreeEngine, MaintenanceStats
+from .core.caching import CachingRQTreeEngine, CacheStats
+from .core.worldindex import WorldIndex
+from .reliability.montecarlo import mc_sampling_search, mc_reliability
+from .reliability.rht import rht_reliability, rht_reliability_search
+from .reliability.variants import (
+    k_terminal_reliability,
+    all_terminal_reliability,
+)
+from .influence.spread import expected_spread_mc, expected_spread_histogram
+from .influence.greedy import greedy_mc, greedy_rqtree, GreedyTrace
+from .influence.ris import ris_influence_maximization, build_rr_sketch, RRSketch
+from .graph.correlated import SharedFateModel, correlated_mc_search
+from .apps.clustering import reliable_kcenter, ReliableClustering
+from .apps.hardening import greedy_hardening, HardeningPlan
+from .datasets.registry import load_dataset, dataset_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "GraphError",
+    "InvalidProbabilityError",
+    "InvalidThresholdError",
+    "NodeNotFoundError",
+    "EmptySourceSetError",
+    "IndexCorruptionError",
+    "FlowError",
+    "InvalidCapacityError",
+    "PartitionError",
+    # graph
+    "UncertainGraph",
+    "SubgraphView",
+    # index
+    "RQTree",
+    "ClusterNode",
+    "build_rqtree",
+    "BuildReport",
+    "RQTreeEngine",
+    "QueryResult",
+    # query processing
+    "CandidateResult",
+    "generate_candidates",
+    "single_source_candidates",
+    "multi_source_candidates_greedy",
+    "multi_source_candidates_exact",
+    "outreach_upper_bound",
+    "general_outreach_upper_bound",
+    "combine_upper_bounds",
+    "OutreachComputation",
+    "verify_lower_bound",
+    "verify_lower_bound_packing",
+    "verify_sampling",
+    "DetectionResult",
+    "detect_reliability",
+    "reliability_scores",
+    "top_k_reliable",
+    "DynamicRQTreeEngine",
+    "MaintenanceStats",
+    "CachingRQTreeEngine",
+    "CacheStats",
+    "WorldIndex",
+    # baselines
+    "mc_sampling_search",
+    "mc_reliability",
+    "rht_reliability",
+    "rht_reliability_search",
+    "k_terminal_reliability",
+    "all_terminal_reliability",
+    # influence maximization
+    "expected_spread_mc",
+    "expected_spread_histogram",
+    "greedy_mc",
+    "greedy_rqtree",
+    "GreedyTrace",
+    "ris_influence_maximization",
+    "build_rr_sketch",
+    "RRSketch",
+    "SharedFateModel",
+    "correlated_mc_search",
+    "reliable_kcenter",
+    "ReliableClustering",
+    "greedy_hardening",
+    "HardeningPlan",
+    # datasets
+    "load_dataset",
+    "dataset_names",
+]

@@ -1,0 +1,16 @@
+"""Applications built on reliability search (beyond the paper's §7.7)."""
+
+from .clustering import (
+    ReliableClustering,
+    reliable_kcenter,
+    clustering_coverage,
+)
+from .hardening import HardeningPlan, greedy_hardening
+
+__all__ = [
+    "ReliableClustering",
+    "reliable_kcenter",
+    "clustering_coverage",
+    "HardeningPlan",
+    "greedy_hardening",
+]

@@ -1,0 +1,150 @@
+"""Reliable clustering on uncertain graphs (cf. Liu et al., ICDM 2012).
+
+The paper's related work cites *reliable clustering* [27]: grouping the
+nodes of an uncertain graph so that cluster members are reliably
+connected to their cluster's representative.  With a reliability-search
+engine, a natural greedy k-center formulation becomes practical:
+
+1. every node's **reliable set** is ``RS({v}, η)`` — the nodes it
+   reaches with probability ≥ η;
+2. greedily pick the center whose reliable set covers the most
+   still-uncovered nodes (classic max-coverage, (1 − 1/e)-approximate);
+3. assign each covered node to the first center that covered it;
+   nodes covered by no center (at the chosen η) become singletons.
+
+Every step is a batch of RQ-tree queries, so the whole clustering costs
+``O(k · n)`` *index* queries instead of ``O(k · n)`` sampling runs —
+the same leverage the paper demonstrates for influence maximization.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..core.engine import RQTreeEngine
+
+__all__ = ["ReliableClustering", "reliable_kcenter", "clustering_coverage"]
+
+
+@dataclass
+class ReliableClustering:
+    """Result of :func:`reliable_kcenter`.
+
+    Attributes
+    ----------
+    centers:
+        The chosen representatives, in selection order.
+    cluster_of:
+        Map node -> center for every covered node; uncovered nodes are
+        absent (they form implicit singletons).
+    eta:
+        The reliability threshold the clustering guarantees: every
+        assigned node is reachable from its center with probability
+        ≥ eta (up to the engine method's accuracy semantics).
+    seconds:
+        Wall time of the selection loop.
+    """
+
+    centers: List[int]
+    cluster_of: Dict[int, int]
+    eta: float
+    seconds: float
+    queries_issued: int = 0
+
+    @property
+    def covered(self) -> Set[int]:
+        """All nodes assigned to some center."""
+        return set(self.cluster_of)
+
+    def members(self, center: int) -> Set[int]:
+        """The nodes assigned to *center* (including itself)."""
+        return {
+            node
+            for node, assigned in self.cluster_of.items()
+            if assigned == center
+        }
+
+
+def reliable_kcenter(
+    engine: RQTreeEngine,
+    k: int,
+    eta: float,
+    method: str = "lb",
+    num_samples: int = 500,
+    seed: Optional[int] = None,
+    candidates: Optional[Sequence[int]] = None,
+) -> ReliableClustering:
+    """Greedy max-coverage k-center clustering by reliability.
+
+    Parameters
+    ----------
+    engine:
+        A built reliability-search engine.
+    k:
+        Number of centers to select.
+    eta:
+        Membership threshold: a node joins a cluster only if reachable
+        from the center with probability ≥ eta.
+    method / num_samples / seed:
+        Passed to the engine's queries (``"lb"`` gives certified
+        memberships; ``"mc"`` gives better coverage).
+    candidates:
+        Optional center pool (default: all nodes).  Restricting the
+        pool (e.g. to high-out-degree nodes) trades quality for speed
+        exactly as in the influence-maximization examples.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    graph = engine.graph
+    pool = list(candidates) if candidates is not None else list(graph.nodes())
+
+    start = time.perf_counter()
+    queries = 0
+    # Pre-compute each pool node's reliable set once.
+    reliable_sets: Dict[int, Set[int]] = {}
+    for node in pool:
+        reliable_sets[node] = engine.query(
+            node, eta, method=method, num_samples=num_samples, seed=seed
+        ).nodes
+        queries += 1
+
+    uncovered: Set[int] = set(graph.nodes())
+    centers: List[int] = []
+    cluster_of: Dict[int, int] = {}
+    remaining = set(pool)
+    for _ in range(min(k, len(pool))):
+        best = None
+        best_gain = 0
+        for node in remaining:
+            gain = len(reliable_sets[node] & uncovered)
+            if gain > best_gain or (
+                gain == best_gain and best is not None and node < best
+                and gain > 0
+            ):
+                best = node
+                best_gain = gain
+        if best is None or best_gain == 0:
+            break
+        centers.append(best)
+        remaining.discard(best)
+        for node in reliable_sets[best] & uncovered:
+            cluster_of[node] = best
+        uncovered -= reliable_sets[best]
+    return ReliableClustering(
+        centers=centers,
+        cluster_of=cluster_of,
+        eta=eta,
+        seconds=time.perf_counter() - start,
+        queries_issued=queries,
+    )
+
+
+def clustering_coverage(
+    clustering: ReliableClustering, num_nodes: int
+) -> float:
+    """Fraction of the graph assigned to a cluster (the quality axis)."""
+    if num_nodes <= 0:
+        return 0.0
+    return len(clustering.cluster_of) / num_nodes

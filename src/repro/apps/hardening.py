@@ -1,0 +1,136 @@
+"""Network hardening: where to spend a link-upgrade budget.
+
+The device-network reliability literature the paper builds on
+(Section 1) asks the inverse question too: given a budget of ``b`` link
+upgrades (making a link's existence certain — a wired replacement, a
+reinforced road), which upgrades most enlarge the set of reliably
+reachable nodes from a source?  The objective ``|RS(S, η)|`` after
+upgrading a set of arcs is monotone in the upgrade set, so the usual
+greedy loop applies, and each candidate evaluation is one (cheap)
+engine query on a conditioned graph — another workload pattern the
+RQ-tree makes interactive.
+
+The candidate pool defaults to the *frontier arcs* of the current
+reliable set (arcs leaving it), which is where an upgrade can actually
+change the answer; this keeps each greedy round to a handful of
+queries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..core.engine import RQTreeEngine
+from ..graph.transforms import condition_graph
+from ..graph.uncertain import UncertainGraph
+
+__all__ = ["HardeningPlan", "greedy_hardening"]
+
+Arc = Tuple[int, int]
+
+
+@dataclass
+class HardeningPlan:
+    """Result of :func:`greedy_hardening`.
+
+    ``upgrades[i]`` is the i-th chosen arc; ``reliable_sizes[i]`` the
+    size of ``RS(S, eta)`` after applying the first ``i+1`` upgrades
+    (``baseline_size`` before any).
+    """
+
+    upgrades: List[Arc]
+    baseline_size: int
+    reliable_sizes: List[int]
+    eta: float
+    seconds: float
+    queries_issued: int = 0
+
+    @property
+    def gain(self) -> int:
+        """Total growth of the reliable set over the baseline."""
+        if not self.reliable_sizes:
+            return 0
+        return self.reliable_sizes[-1] - self.baseline_size
+
+
+def _frontier_arcs(
+    graph: UncertainGraph, reliable: Set[int]
+) -> List[Arc]:
+    """Arcs from the reliable set to outside it, weakest-first.
+
+    Upgrading an arc wholly inside or wholly outside the current
+    reliable set cannot add a newly reliable node at the margin, so the
+    frontier is the only pool worth scanning each round.
+    """
+    frontier = [
+        (u, v)
+        for u in reliable
+        for v, p in graph.successors(u).items()
+        if v not in reliable and p < 1.0
+    ]
+    # Weakest arcs first: upgrading them changes the most.
+    frontier.sort(key=lambda arc: graph.probability(*arc))
+    return frontier
+
+
+def greedy_hardening(
+    graph: UncertainGraph,
+    sources: Sequence[int],
+    budget: int,
+    eta: float,
+    max_candidates_per_round: int = 16,
+    engine_seed: int = 0,
+) -> HardeningPlan:
+    """Greedily choose *budget* arcs to upgrade to certainty.
+
+    Each round evaluates up to *max_candidates_per_round* frontier arcs
+    (one conditioned-graph engine query each) and commits the upgrade
+    with the largest reliable-set gain; ties break toward the weakest
+    arc.  Rounds stop early when no candidate improves the objective.
+    """
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    source_list = list(dict.fromkeys(sources))
+
+    start = time.perf_counter()
+    queries = 0
+    current = graph
+    engine = RQTreeEngine.build(current, seed=engine_seed)
+    reliable = engine.query(source_list, eta).nodes
+    queries += 1
+    baseline = len(reliable)
+
+    upgrades: List[Arc] = []
+    sizes: List[int] = []
+    for _ in range(budget):
+        candidates = _frontier_arcs(current, reliable)[
+            :max_candidates_per_round
+        ]
+        best_arc: Optional[Arc] = None
+        best_size = len(reliable)
+        best_reliable = reliable
+        for arc in candidates:
+            trial_graph = condition_graph(current, present=[arc])
+            trial_engine = RQTreeEngine.build(trial_graph, seed=engine_seed)
+            trial_reliable = trial_engine.query(source_list, eta).nodes
+            queries += 1
+            if len(trial_reliable) > best_size:
+                best_size = len(trial_reliable)
+                best_arc = arc
+                best_reliable = trial_reliable
+        if best_arc is None:
+            break
+        upgrades.append(best_arc)
+        sizes.append(best_size)
+        current = condition_graph(current, present=[best_arc])
+        reliable = best_reliable
+    return HardeningPlan(
+        upgrades=upgrades,
+        baseline_size=baseline,
+        reliable_sizes=sizes,
+        eta=eta,
+        seconds=time.perf_counter() - start,
+        queries_issued=queries,
+    )

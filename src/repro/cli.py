@@ -1,0 +1,349 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The CLI covers the offline/online split of the paper's system:
+
+* ``generate``     — materialize a synthetic dataset as an edge list;
+* ``build-index``  — build an RQ-tree offline and save it as JSON;
+* ``stats``        — graph and/or index statistics (Table 5-style);
+* ``query``        — answer a reliability-search query online;
+* ``top-k``        — the k most reliable nodes from a source set;
+* ``detect``       — two-terminal reliability detection via binary
+  search on the threshold (paper, Section 2 reduction);
+* ``transform``    — what-if graph transformations (scale / power /
+  backbone extraction).
+
+Everything round-trips through the text/JSON formats in
+:mod:`repro.graph.io` and :meth:`repro.core.rqtree.RQTree.save`, so an
+index built once is reusable across invocations — the pre-computation
+model of the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .core.detection import detect_reliability, top_k_reliable
+from .core.builder import build_rqtree
+from .core.engine import RQTreeEngine
+from .core.rqtree import RQTree
+from .datasets.registry import dataset_names, load_dataset
+from .eval.reporting import format_table
+from .graph.io import read_edge_list, write_edge_list
+from .graph.transforms import (
+    power_probabilities,
+    scale_probabilities,
+    threshold_backbone,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_sources(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"sources must be comma-separated integers, got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RQ-tree reliability search in uncertain graphs "
+        "(Khan et al., EDBT 2014 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic dataset as an edge list"
+    )
+    generate.add_argument(
+        "--dataset", required=True, choices=sorted(dataset_names())
+    )
+    generate.add_argument("--nodes", type=int, default=0,
+                          help="node count (0 = dataset default)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True,
+                          help="edge-list file to write")
+
+    build = commands.add_parser(
+        "build-index", help="build an RQ-tree index offline"
+    )
+    build.add_argument("--graph", required=True, help="edge-list file")
+    build.add_argument("--output", required=True, help="index JSON to write")
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument(
+        "--strategy", choices=("multilevel", "random"), default="multilevel"
+    )
+    build.add_argument("--branching", type=int, default=2)
+    build.add_argument("--max-imbalance", type=float, default=0.1)
+
+    stats = commands.add_parser(
+        "stats", help="print graph and/or index statistics"
+    )
+    stats.add_argument("--graph", required=True)
+    stats.add_argument("--index", default=None)
+
+    query = commands.add_parser(
+        "query", help="answer a reliability-search query RS(S, eta)"
+    )
+    query.add_argument("--graph", required=True)
+    query.add_argument("--index", default=None,
+                       help="prebuilt index JSON (otherwise built on the fly)")
+    query.add_argument("--sources", required=True, type=_parse_sources,
+                       help="comma-separated node ids")
+    query.add_argument("--eta", required=True, type=float)
+    query.add_argument("--method", choices=("lb", "mc"), default="lb")
+    query.add_argument("--samples", type=int, default=1000)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--max-hops", type=int, default=None,
+                       help="distance-constrained variant")
+    query.add_argument(
+        "--multi-source-mode", choices=("greedy", "exact"), default="greedy"
+    )
+
+    topk = commands.add_parser(
+        "top-k", help="the k most reliable nodes from the source set"
+    )
+    topk.add_argument("--graph", required=True)
+    topk.add_argument("--index", default=None)
+    topk.add_argument("--sources", required=True, type=_parse_sources)
+    topk.add_argument("-k", type=int, required=True)
+    topk.add_argument("--method", choices=("lb", "mc"), default="lb")
+    topk.add_argument("--samples", type=int, default=1000)
+    topk.add_argument("--seed", type=int, default=0)
+
+    transform = commands.add_parser(
+        "transform",
+        help="what-if transformation of a graph (scale/power/backbone)",
+    )
+    transform.add_argument("--graph", required=True)
+    transform.add_argument("--output", required=True)
+    transform.add_argument("--scale", type=float, default=None,
+                           help="multiply every probability by this factor")
+    transform.add_argument("--power", type=float, default=None,
+                           help="raise every probability to this exponent")
+    transform.add_argument("--backbone", type=float, default=None,
+                           help="keep only arcs with p >= this threshold")
+
+    detect = commands.add_parser(
+        "detect",
+        help="two-terminal reliability detection (binary search on eta)",
+    )
+    detect.add_argument("--graph", required=True)
+    detect.add_argument("--index", default=None)
+    detect.add_argument("--source", type=int, required=True)
+    detect.add_argument("--target", type=int, required=True)
+    detect.add_argument("--tolerance", type=float, default=0.05)
+    detect.add_argument("--method", choices=("lb", "mc"), default="mc")
+    detect.add_argument("--samples", type=int, default=1000)
+    detect.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _load_engine(graph_path: str, index_path: Optional[str]) -> RQTreeEngine:
+    graph = read_edge_list(graph_path)
+    if index_path:
+        tree = RQTree.load(index_path)
+        return RQTreeEngine(graph, tree)
+    return RQTreeEngine.build(graph)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, n=args.nodes, seed=args.seed)
+    write_edge_list(graph, args.output)
+    print(
+        f"wrote {args.dataset} stand-in: {graph.num_nodes} nodes, "
+        f"{graph.num_arcs} arcs -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_build_index(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    tree, report = build_rqtree(
+        graph,
+        max_imbalance=args.max_imbalance,
+        seed=args.seed,
+        strategy=args.strategy,
+        branching=args.branching,
+    )
+    tree.save(args.output)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("nodes", graph.num_nodes),
+                ("arcs", graph.num_arcs),
+                ("build time (s)", report.build_seconds),
+                ("index size (MB)", report.storage_megabytes),
+                ("height", report.height),
+                ("# clusters", report.num_clusters),
+            ],
+            title=f"RQ-tree written to {args.output}",
+        )
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .eval.reporting import ascii_histogram
+    from .graph.statistics import probability_histogram, summarize
+
+    graph = read_edge_list(args.graph)
+    rows = list(summarize(graph).as_rows())
+    if args.index:
+        tree = RQTree.load(args.index)
+        rows += [
+            ("index height", tree.height),
+            ("index clusters", tree.num_clusters),
+            ("index size (MB)", tree.storage_size_estimate() / 2**20),
+        ]
+    print(format_table(["metric", "value"], rows, title="statistics"))
+    if graph.num_arcs:
+        print()
+        print(
+            ascii_histogram(
+                probability_histogram(graph, num_bins=10),
+                title="arc-probability distribution",
+            )
+        )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    engine = _load_engine(args.graph, args.index)
+    start = time.perf_counter()
+    result = engine.query(
+        args.sources,
+        args.eta,
+        method=args.method,
+        num_samples=args.samples,
+        seed=args.seed,
+        multi_source_mode=args.multi_source_mode,
+        max_hops=args.max_hops,
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("answer size", len(result.nodes)),
+                ("candidates", len(result.candidate_result.candidates)),
+                ("height ratio", result.height_ratio),
+                ("candidate ratio", result.candidate_ratio),
+                ("query time (s)", elapsed),
+            ],
+            title=f"RS({args.sources}, {args.eta}) via rq-tree-{args.method}",
+        )
+    )
+    print("nodes:", " ".join(str(n) for n in sorted(result.nodes)))
+    return 0
+
+
+def _cmd_top_k(args: argparse.Namespace) -> int:
+    engine = _load_engine(args.graph, args.index)
+    ranked = top_k_reliable(
+        engine,
+        args.sources,
+        args.k,
+        method=args.method,
+        num_samples=args.samples,
+        seed=args.seed,
+    )
+    print(
+        format_table(
+            ["rank", "node", "score"],
+            [(i + 1, node, score) for i, (node, score) in enumerate(ranked)],
+            title=f"top-{args.k} most reliable nodes from {args.sources}",
+        )
+    )
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    engine = _load_engine(args.graph, args.index)
+    result = detect_reliability(
+        engine,
+        args.source,
+        args.target,
+        tolerance=args.tolerance,
+        method=args.method,
+        num_samples=args.samples,
+        seed=args.seed,
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("R lower bracket", result.low),
+                ("R upper bracket", result.high),
+                ("point estimate", result.midpoint),
+                ("index queries", result.queries_issued),
+            ],
+            title=f"two-terminal reliability R({args.source}, {args.target})",
+        )
+    )
+    return 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    chosen = [
+        opt for opt in (args.scale, args.power, args.backbone)
+        if opt is not None
+    ]
+    if len(chosen) != 1:
+        print(
+            "exactly one of --scale / --power / --backbone is required",
+            file=sys.stderr,
+        )
+        return 2
+    graph = read_edge_list(args.graph)
+    if args.scale is not None:
+        result = scale_probabilities(graph, args.scale)
+        action = f"scaled by {args.scale}"
+    elif args.power is not None:
+        result = power_probabilities(graph, args.power)
+        action = f"raised to power {args.power}"
+    else:
+        result = threshold_backbone(graph, args.backbone)
+        action = f"backbone at tau = {args.backbone}"
+    write_edge_list(result, args.output)
+    print(
+        f"{action}: {result.num_nodes} nodes, {result.num_arcs} arcs "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "build-index": _cmd_build_index,
+    "stats": _cmd_stats,
+    "query": _cmd_query,
+    "top-k": _cmd_top_k,
+    "detect": _cmd_detect,
+    "transform": _cmd_transform,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _HANDLERS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

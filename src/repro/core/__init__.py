@@ -1,0 +1,70 @@
+"""The paper's primary contribution: the RQ-tree index and query engine."""
+
+from .rqtree import RQTree, ClusterNode
+from .builder import build_rqtree, BuildReport, split_cluster, rebuild_subtree
+from .outreach import (
+    OutreachComputation,
+    outreach_upper_bound,
+    general_outreach_upper_bound,
+    combine_upper_bounds,
+    capacity_of,
+)
+from .candidates import (
+    CandidateResult,
+    TraversalStep,
+    single_source_candidates,
+    multi_source_candidates_greedy,
+    multi_source_candidates_exact,
+    generate_candidates,
+)
+from .verification import (
+    verify_lower_bound,
+    verify_lower_bound_packing,
+    verify_sampling,
+)
+from .engine import RQTreeEngine, QueryResult
+from .detection import (
+    DetectionResult,
+    detect_reliability,
+    reliability_scores,
+    top_k_reliable,
+)
+from .maintenance import DynamicRQTreeEngine, MaintenanceStats
+from .caching import CachingRQTreeEngine, CacheStats
+from .bounds_cache import ClusterBoundsCache
+from .worldindex import WorldIndex
+
+__all__ = [
+    "RQTree",
+    "ClusterNode",
+    "build_rqtree",
+    "BuildReport",
+    "split_cluster",
+    "rebuild_subtree",
+    "OutreachComputation",
+    "outreach_upper_bound",
+    "general_outreach_upper_bound",
+    "combine_upper_bounds",
+    "capacity_of",
+    "CandidateResult",
+    "TraversalStep",
+    "single_source_candidates",
+    "multi_source_candidates_greedy",
+    "multi_source_candidates_exact",
+    "generate_candidates",
+    "verify_lower_bound",
+    "verify_lower_bound_packing",
+    "verify_sampling",
+    "RQTreeEngine",
+    "QueryResult",
+    "DetectionResult",
+    "detect_reliability",
+    "reliability_scores",
+    "top_k_reliable",
+    "DynamicRQTreeEngine",
+    "MaintenanceStats",
+    "CachingRQTreeEngine",
+    "CacheStats",
+    "ClusterBoundsCache",
+    "WorldIndex",
+]

@@ -1,0 +1,290 @@
+"""The query engine facade: RQ-tree + filtering + verification.
+
+:class:`RQTreeEngine` bundles an uncertain graph with its RQ-tree index
+and exposes the paper's two query-evaluation strategies:
+
+* ``method="lb"`` — **RQ-tree-LB**: candidate generation followed by the
+  most-likely-path lower-bound verification (perfect precision, no
+  sampling; Section 5.1);
+* ``method="mc"`` — **RQ-tree-MC**: candidate generation followed by
+  Monte-Carlo verification on the candidate subgraph (better recall;
+  Section 5.2).
+
+Every query returns a :class:`QueryResult` carrying the answer set plus
+the instrumentation the paper's evaluation reports: per-phase wall times,
+the *height ratio* and *candidate ratio* pruning metrics of Section 7.4,
+and the boundary-subgraph sizes of Table 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Union
+
+from ..errors import EmptySourceSetError
+from ..graph.uncertain import UncertainGraph
+from .builder import BuildReport, build_rqtree
+from .bounds_cache import ClusterBoundsCache
+from .candidates import CandidateResult, generate_candidates
+from .rqtree import RQTree
+from .verification import (
+    verify_lower_bound,
+    verify_lower_bound_packing,
+    verify_sampling,
+)
+
+__all__ = ["QueryResult", "RQTreeEngine"]
+
+
+@dataclass
+class QueryResult:
+    """Answer and instrumentation of one reliability-search query."""
+
+    nodes: Set[int]
+    eta: float
+    sources: List[int]
+    method: str
+    candidate_result: CandidateResult
+    candidate_seconds: float
+    verification_seconds: float
+    tree_height: int
+    num_graph_nodes: int
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end query time (candidate generation + verification)."""
+        return self.candidate_seconds + self.verification_seconds
+
+    #: Depth (distance from the root) of the shallowest cluster selected
+    #: by candidate generation; 0 means some cursor climbed to the root.
+    min_selected_depth: int = 0
+
+    @property
+    def height_ratio(self) -> float:
+        """How far up the tree candidate generation had to climb.
+
+        The paper's Section 7.4 metric: the number of tree levels
+        traversed over the total height.  A query whose qualifying
+        cluster sits just above the leaves scores near ``1/height``;
+        one that climbed to the root scores 1.  For multi-source
+        queries the *highest* cursor defines the ratio (the paper's
+        Table 7 values rise towards 1 as source sets spread).
+        """
+        if self.tree_height == 0:
+            return 0.0
+        climbed = self.tree_height - self.min_selected_depth + 1
+        return min(1.0, max(0.0, climbed / (self.tree_height + 1)))
+
+    def explain(self) -> str:
+        """A human-readable account of how this query was answered.
+
+        Shows the candidate-generation traversal (clusters visited,
+        the bound at each, how it was computed, where it stopped) and
+        the verification outcome — the query-plan view of the paper's
+        two-phase pipeline.
+        """
+        lines = [
+            f"RS(S={sorted(self.sources)}, eta={self.eta}) "
+            f"via rq-tree-{self.method}",
+            self.candidate_result.explain(),
+            (
+                f"verification [{self.method}]: kept {len(self.nodes)} of "
+                f"{len(self.candidate_result.candidates)} candidates "
+                f"in {self.verification_seconds * 1000:.2f} ms"
+            ),
+        ]
+        return "\n".join(lines)
+
+    @property
+    def candidate_ratio(self) -> float:
+        """Candidate-set size over graph size (paper, Section 7.4)."""
+        if self.num_graph_nodes == 0:
+            return 0.0
+        return len(self.candidate_result.candidates) / self.num_graph_nodes
+
+
+class RQTreeEngine:
+    """Reliability-search query engine backed by an RQ-tree index.
+
+    Build an engine either from a pre-built tree or directly from a
+    graph (the index is constructed on the spot)::
+
+        engine = RQTreeEngine.build(graph, seed=7)
+        result = engine.query([source], eta=0.6)          # RQ-tree-LB
+        result = engine.query([source], eta=0.6, method="mc")
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        tree: RQTree,
+        build_report: Optional[BuildReport] = None,
+        flow_engine: str = "dinic",
+    ) -> None:
+        if tree.num_graph_nodes != graph.num_nodes:
+            raise ValueError(
+                "index and graph disagree on the number of nodes: "
+                f"{tree.num_graph_nodes} vs {graph.num_nodes}"
+            )
+        self.graph = graph
+        self.tree = tree
+        self.build_report = build_report
+        self.flow_engine = flow_engine
+        # Source-independent Theorem-5 bounds, shared across queries.
+        # Callers that mutate the graph must invalidate it (the dynamic
+        # engine does so automatically).
+        self.bounds_cache = ClusterBoundsCache()
+
+    @classmethod
+    def build(
+        cls,
+        graph: UncertainGraph,
+        max_imbalance: float = 0.1,
+        seed: int = 0,
+        strategy: str = "multilevel",
+        flow_engine: str = "dinic",
+    ) -> "RQTreeEngine":
+        """Construct the RQ-tree index for *graph* and wrap it."""
+        tree, report = build_rqtree(
+            graph, max_imbalance=max_imbalance, seed=seed, strategy=strategy
+        )
+        return cls(graph, tree, build_report=report, flow_engine=flow_engine)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def candidates(
+        self,
+        sources: Union[int, Sequence[int]],
+        eta: float,
+        multi_source_mode: str = "greedy",
+    ) -> CandidateResult:
+        """Run candidate generation only (the filtering phase)."""
+        source_list = self._normalize_sources(sources)
+        return generate_candidates(
+            self.graph,
+            self.tree,
+            source_list,
+            eta,
+            engine=self.flow_engine,
+            multi_source_mode=multi_source_mode,
+            bounds_cache=self.bounds_cache,
+        )
+
+    def query(
+        self,
+        sources: Union[int, Sequence[int]],
+        eta: float,
+        method: str = "lb",
+        num_samples: int = 1000,
+        seed: Optional[int] = None,
+        multi_source_mode: str = "greedy",
+        max_hops: Optional[int] = None,
+    ) -> QueryResult:
+        """Answer the reliability-search query ``RS(S, eta)``.
+
+        Parameters
+        ----------
+        sources:
+            A node id or a sequence of node ids.
+        eta:
+            Probability threshold in (0, 1).
+        method:
+            ``"lb"`` for RQ-tree-LB (perfect precision), ``"lb+"`` for
+            the edge-packing variant (perfect precision, better recall,
+            a few extra Dijkstra runs; hop budgets unsupported), or
+            ``"mc"`` for RQ-tree-MC (best recall).
+        num_samples:
+            Worlds sampled by the MC verifier (ignored for ``"lb"``).
+        seed:
+            Seed for the MC verifier (ignored for ``"lb"``).
+        multi_source_mode:
+            ``"greedy"`` (Section 4.3 heuristic) or ``"exact"``
+            (Problem 2 Pareto DP); ignored for single-source queries.
+        max_hops:
+            Optional hop budget: answer the *distance-constrained*
+            reliability-search query (only nodes within ``max_hops``
+            arcs with probability >= eta count; Jin et al. [20]).  The
+            unconstrained candidate set remains valid because hop
+            bounds only shrink reachability events, so no new candidate
+            machinery is needed — only verification changes.
+        """
+        source_list = self._normalize_sources(sources)
+        start = time.perf_counter()
+        candidate_result = generate_candidates(
+            self.graph,
+            self.tree,
+            source_list,
+            eta,
+            engine=self.flow_engine,
+            multi_source_mode=multi_source_mode,
+            bounds_cache=self.bounds_cache,
+        )
+        candidate_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        if method == "lb":
+            answer = verify_lower_bound(
+                self.graph,
+                source_list,
+                eta,
+                candidate_result.candidates,
+                max_hops=max_hops,
+            )
+        elif method == "lb+":
+            if max_hops is not None:
+                raise ValueError(
+                    "max_hops is not supported with method='lb+'; "
+                    "use 'lb' or 'mc'"
+                )
+            answer = verify_lower_bound_packing(
+                self.graph,
+                source_list,
+                eta,
+                candidate_result.candidates,
+            )
+        elif method == "mc":
+            answer = verify_sampling(
+                self.graph,
+                source_list,
+                eta,
+                candidate_result.candidates,
+                num_samples=num_samples,
+                seed=seed,
+                max_hops=max_hops,
+            )
+        else:
+            raise ValueError(
+                f"unknown method {method!r}; expected 'lb', 'lb+' or 'mc'"
+            )
+        verification_seconds = time.perf_counter() - start
+
+        min_depth = min(
+            (
+                self.tree.clusters[index].depth
+                for index in candidate_result.selected_clusters
+            ),
+            default=0,
+        )
+        return QueryResult(
+            nodes=answer,
+            eta=eta,
+            sources=source_list,
+            method=method,
+            candidate_result=candidate_result,
+            candidate_seconds=candidate_seconds,
+            verification_seconds=verification_seconds,
+            tree_height=self.tree.height,
+            num_graph_nodes=self.graph.num_nodes,
+            min_selected_depth=min_depth,
+        )
+
+    @staticmethod
+    def _normalize_sources(sources: Union[int, Sequence[int]]) -> List[int]:
+        if isinstance(sources, int):
+            return [sources]
+        source_list = list(dict.fromkeys(sources))
+        if not source_list:
+            raise EmptySourceSetError()
+        return source_list

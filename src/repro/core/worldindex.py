@@ -1,0 +1,225 @@
+"""The sampled-worlds index: the "other" pre-computation strategy.
+
+The RQ-tree spends its offline budget on *structure* (a hierarchy of
+cuts) and keeps probability evaluation online.  The obvious competing
+design spends the offline budget on *probability* instead: sample ``K``
+possible worlds once, store them, and answer every query by determinis-
+tic reachability over the stored worlds.  This is the pre-computed
+variant of the MC-Sampling baseline — same estimates, no sampling at
+query time, fully deterministic and repeatable answers.
+
+Trade-offs versus the RQ-tree (measured in
+``benchmarks/bench_worldindex.py``):
+
+* storage is ``O(K · E[world arcs])`` — orders of magnitude above the
+  RQ-tree's ``O(n log n)`` member lists at useful ``K``;
+* query time is ``O(K (ñ_w))`` where ``ñ_w`` is the reached set per
+  world — like online MC, it does not enjoy the RQ-tree's locality;
+* accuracy equals MC-Sampling with the same ``K`` by construction;
+* any world-measurable query (hop bounds, counting, spread) is
+  answerable from the same stored worlds.
+
+Keeping both designs in the library makes the paper's central bet
+concrete: *structure beats stored samples when queries are local*.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from ..errors import (
+    EmptySourceSetError,
+    GraphError,
+    InvalidThresholdError,
+    NodeNotFoundError,
+)
+from ..graph.uncertain import UncertainGraph
+
+__all__ = ["WorldIndex"]
+
+PathLike = Union[str, Path]
+
+
+class WorldIndex:
+    """A reliability-search index of ``K`` pre-sampled possible worlds.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph (kept only for node count validation).
+    num_worlds:
+        How many worlds to sample and store (the accuracy knob, like
+        the MC baseline's ``K``).
+    seed:
+        Sampling seed; the index is deterministic given it.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        num_worlds: int = 1000,
+        seed: int = 0,
+    ) -> None:
+        if num_worlds <= 0:
+            raise ValueError(f"num_worlds must be positive, got {num_worlds}")
+        self.num_nodes = graph.num_nodes
+        self.num_worlds = num_worlds
+        self.seed = seed
+        rng = random.Random(seed)
+        arcs = list(graph.arcs())
+        # worlds[w] is a successor map {u: [v, ...]} holding only the
+        # arcs that exist in world w.
+        self.worlds: List[Dict[int, List[int]]] = []
+        for _ in range(num_worlds):
+            adjacency: Dict[int, List[int]] = {}
+            rng_random = rng.random
+            for u, v, p in arcs:
+                if rng_random() < p:
+                    adjacency.setdefault(u, []).append(v)
+            self.worlds.append(adjacency)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _count_reached(
+        self,
+        sources: Sequence[int],
+        max_hops: Optional[int],
+    ) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for adjacency in self.worlds:
+            frontier = list(dict.fromkeys(sources))
+            seen = set(frontier)
+            depth = 0
+            while frontier:
+                if max_hops is not None and depth >= max_hops:
+                    break
+                next_frontier: List[int] = []
+                for u in frontier:
+                    for v in adjacency.get(u, ()):
+                        if v not in seen:
+                            seen.add(v)
+                            next_frontier.append(v)
+                frontier = next_frontier
+                depth += 1
+            for node in seen:
+                counts[node] = counts.get(node, 0) + 1
+        return counts
+
+    def _normalize(self, sources: Union[int, Sequence[int]]) -> List[int]:
+        source_list = (
+            [sources] if isinstance(sources, int)
+            else list(dict.fromkeys(sources))
+        )
+        if not source_list:
+            raise EmptySourceSetError()
+        for s in source_list:
+            if not 0 <= s < self.num_nodes:
+                raise NodeNotFoundError(s)
+        return source_list
+
+    def query(
+        self,
+        sources: Union[int, Sequence[int]],
+        eta: float,
+        max_hops: Optional[int] = None,
+    ) -> Set[int]:
+        """Answer ``RS(S, eta)`` over the stored worlds (deterministic)."""
+        import math
+
+        if math.isnan(eta) or not 0.0 < eta < 1.0:
+            raise InvalidThresholdError(eta)
+        source_list = self._normalize(sources)
+        counts = self._count_reached(source_list, max_hops)
+        threshold = eta * self.num_worlds
+        return {node for node, count in counts.items() if count >= threshold}
+
+    def reliability(
+        self,
+        sources: Union[int, Sequence[int]],
+        target: int,
+        max_hops: Optional[int] = None,
+    ) -> float:
+        """Estimated ``R(S, t)`` (the stored-worlds hit frequency)."""
+        source_list = self._normalize(sources)
+        if not 0 <= target < self.num_nodes:
+            raise NodeNotFoundError(target)
+        counts = self._count_reached(source_list, max_hops)
+        return counts.get(target, 0) / self.num_worlds
+
+    def expected_spread(self, seeds: Union[int, Sequence[int]]) -> float:
+        """IC-model expected spread over the stored worlds."""
+        seed_list = self._normalize(seeds)
+        counts = self._count_reached(seed_list, None)
+        return sum(counts.values()) / self.num_worlds
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    def storage_size_estimate(self) -> int:
+        """Approximate index footprint in bytes (8 bytes per stored arc)."""
+        stored_arcs = sum(
+            len(successors)
+            for adjacency in self.worlds
+            for successors in adjacency.values()
+        )
+        return 8 * stored_arcs + 16 * sum(len(w) for w in self.worlds)
+
+    def to_json(self) -> dict:
+        """JSON-serializable representation (arcs per world)."""
+        return {
+            "format": "repro-world-index",
+            "version": 1,
+            "num_nodes": self.num_nodes,
+            "num_worlds": self.num_worlds,
+            "seed": self.seed,
+            "worlds": [
+                sorted(
+                    (u, v)
+                    for u, successors in adjacency.items()
+                    for v in successors
+                )
+                for adjacency in self.worlds
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, document: dict) -> "WorldIndex":
+        """Rebuild an index from :meth:`to_json` output."""
+        if document.get("format") != "repro-world-index":
+            raise GraphError(
+                f"unrecognized index format {document.get('format')!r}"
+            )
+        index = cls.__new__(cls)
+        index.num_nodes = int(document["num_nodes"])
+        index.num_worlds = int(document["num_worlds"])
+        index.seed = int(document["seed"])
+        index.worlds = []
+        for world in document["worlds"]:
+            adjacency: Dict[int, List[int]] = {}
+            for u, v in world:
+                adjacency.setdefault(int(u), []).append(int(v))
+            index.worlds.append(adjacency)
+        if len(index.worlds) != index.num_worlds:
+            raise GraphError("world count mismatch in serialized index")
+        return index
+
+    def save(self, destination: PathLike) -> None:
+        """Write the index as JSON."""
+        with Path(destination).open("w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle)
+
+    @classmethod
+    def load(cls, source: PathLike) -> "WorldIndex":
+        """Read an index written by :meth:`save`."""
+        with Path(source).open("r", encoding="utf-8") as handle:
+            return cls.from_json(json.load(handle))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorldIndex(n={self.num_nodes}, K={self.num_worlds})"
+        )

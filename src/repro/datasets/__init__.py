@@ -1,0 +1,17 @@
+"""Named dataset registry mirroring the paper's Table 3 line-up."""
+
+from .registry import (
+    DatasetSpec,
+    DATASETS,
+    load_dataset,
+    dataset_names,
+    paper_scale_note,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "load_dataset",
+    "dataset_names",
+    "paper_scale_note",
+]

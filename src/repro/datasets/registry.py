@@ -1,0 +1,131 @@
+"""Registry of the paper's evaluation datasets (synthetic stand-ins).
+
+Table 3 of the paper lists eight uncertain graphs (three DBLP variants,
+Flickr, BioMine, Last.FM, WebGraph, NetHEPT).  The originals are not
+redistributable, so each entry here binds a name to a seeded synthetic
+generator that reproduces the dataset's probability model and degree
+structure at benchmark-friendly scale (see DESIGN.md §4 for the
+substitution rationale).  Benchmarks and examples refer to datasets
+exclusively through :func:`load_dataset`, so swapping in the real data
+later only requires changing this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..graph import generators
+from ..graph.uncertain import UncertainGraph
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "load_dataset",
+    "dataset_names",
+    "paper_scale_note",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One named dataset: factory plus provenance documentation."""
+
+    name: str
+    factory: Callable[[int, int], UncertainGraph]  # (n, seed) -> graph
+    default_n: int
+    paper_nodes: int
+    paper_arcs: int
+    probability_model: str
+
+
+def _dblp(mu: float) -> Callable[[int, int], UncertainGraph]:
+    def factory(n: int, seed: int) -> UncertainGraph:
+        return generators.dblp_like(n=n, mu=mu, seed=seed)
+
+    return factory
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "dblp2": DatasetSpec(
+        "dblp2", _dblp(2.0), 2000, 684_911, 4_569_982,
+        "p = 1 - exp(-c/2), c = #collaborations",
+    ),
+    "dblp5": DatasetSpec(
+        "dblp5", _dblp(5.0), 2000, 684_911, 4_569_982,
+        "p = 1 - exp(-c/5), c = #collaborations",
+    ),
+    "dblp10": DatasetSpec(
+        "dblp10", _dblp(10.0), 2000, 684_911, 4_569_982,
+        "p = 1 - exp(-c/10), c = #collaborations",
+    ),
+    "flickr": DatasetSpec(
+        "flickr",
+        lambda n, seed: generators.flickr_like(n=n, seed=seed),
+        2000, 78_322, 20_343_018,
+        "p = Jaccard coefficient of shared interest groups",
+    ),
+    "biomine": DatasetSpec(
+        "biomine",
+        lambda n, seed: generators.biomine_like(n=n, seed=seed),
+        2000, 1_008_201, 13_445_048,
+        "interaction strength; probabilities skewed high",
+    ),
+    "lastfm": DatasetSpec(
+        "lastfm",
+        lambda n, seed: generators.lastfm_like(n=n, seed=seed),
+        1500, 6_899, 24_144,
+        "weighted cascade: p(u,v) = 1 / outdeg(u)",
+    ),
+    "webgraph": DatasetSpec(
+        "webgraph",
+        lambda n, seed: generators.webgraph_like(n=n, seed=seed),
+        10_000, 10_000_000, 174_918_788,
+        "weighted cascade: p(u,v) = 1 / outdeg(u)",
+    ),
+    "nethept": DatasetSpec(
+        "nethept",
+        lambda n, seed: generators.nethept_like(n=n, seed=seed),
+        1500, 15_235, 62_776,
+        "constant p = 0.5",
+    ),
+}
+
+
+def dataset_names() -> Tuple[str, ...]:
+    """All registered dataset names, in Table 3 order."""
+    return tuple(DATASETS)
+
+
+def load_dataset(
+    name: str, n: int = 0, seed: int = 0
+) -> UncertainGraph:
+    """Instantiate a named dataset.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`DATASETS` (case-insensitive).
+    n:
+        Node count; 0 selects the dataset's benchmark default.
+    seed:
+        Generator seed (datasets are deterministic given ``(n, seed)``).
+    """
+    spec = DATASETS.get(name.lower())
+    if spec is None:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    return spec.factory(n or spec.default_n, seed)
+
+
+def paper_scale_note(name: str) -> str:
+    """Human-readable provenance line for reports (EXPERIMENTS.md)."""
+    spec = DATASETS.get(name.lower())
+    if spec is None:
+        raise KeyError(f"unknown dataset {name!r}")
+    return (
+        f"{spec.name}: paper used {spec.paper_nodes:,} nodes / "
+        f"{spec.paper_arcs:,} arcs; reproduction default {spec.default_n:,} "
+        f"nodes; probability model: {spec.probability_model}"
+    )

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised at public API boundaries derive from :class:`ReproError`
+so that callers can catch library failures with a single ``except`` clause
+while still distinguishing user mistakes (:class:`InvalidProbabilityError`,
+:class:`InvalidThresholdError`, :class:`NodeNotFoundError`) from internal
+inconsistencies (:class:`IndexCorruptionError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors relating to uncertain-graph construction."""
+
+
+class InvalidProbabilityError(GraphError, ValueError):
+    """An arc probability lies outside the half-open interval (0, 1].
+
+    The paper defines ``p: A -> (0, 1]``: zero-probability arcs carry no
+    information and must simply be omitted, while probabilities above one
+    are meaningless.
+    """
+
+    def __init__(self, value: float, arc: object = None) -> None:
+        self.value = value
+        self.arc = arc
+        where = f" on arc {arc!r}" if arc is not None else ""
+        super().__init__(
+            f"arc probability must be in (0, 1], got {value!r}{where}"
+        )
+
+
+class InvalidThresholdError(ReproError, ValueError):
+    """A reliability threshold eta lies outside the open interval (0, 1)."""
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+        super().__init__(
+            f"reliability threshold eta must be in (0, 1), got {value!r}"
+        )
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A query referenced a node id absent from the graph."""
+
+    def __init__(self, node: object) -> None:
+        self.node = node
+        super().__init__(f"node {node!r} is not present in the graph")
+
+
+class EmptySourceSetError(ReproError, ValueError):
+    """A reliability-search query was issued with no source nodes."""
+
+    def __init__(self) -> None:
+        super().__init__("the source set S of a query must be non-empty")
+
+
+class IndexCorruptionError(ReproError):
+    """An RQ-tree index failed an internal consistency check.
+
+    Raised when loading a serialized index whose structure violates the
+    RQ-tree invariants (each level partitions the node set, children are
+    nested in their parent, leaves are singletons).
+    """
+
+
+class FlowError(ReproError):
+    """Base class for errors in the max-flow subsystem."""
+
+
+class InvalidCapacityError(FlowError, ValueError):
+    """A flow-network arc was given a negative or NaN capacity."""
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+        super().__init__(f"capacity must be non-negative, got {value!r}")
+
+
+class PartitionError(ReproError):
+    """The balanced partitioner received an unpartitionable input."""

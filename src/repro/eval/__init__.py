@@ -1,0 +1,36 @@
+"""Evaluation harness: metrics, workloads, runners, and reporting."""
+
+from .metrics import precision, recall, f1_score, jaccard, PrecisionRecall
+from .workload import single_source_workload, multi_source_workload
+from .harness import (
+    QueryRecord,
+    AggregateRow,
+    run_quality_experiment,
+    mean_or_zero,
+)
+from .reporting import format_table, format_series, empirical_cdf
+from .bootstrap import ConfidenceInterval, bootstrap_mean, bootstrap_statistic
+from .comparison import MethodComparison, compare_methods, render_comparison
+
+__all__ = [
+    "precision",
+    "recall",
+    "f1_score",
+    "jaccard",
+    "PrecisionRecall",
+    "single_source_workload",
+    "multi_source_workload",
+    "QueryRecord",
+    "AggregateRow",
+    "run_quality_experiment",
+    "mean_or_zero",
+    "format_table",
+    "format_series",
+    "empirical_cdf",
+    "ConfidenceInterval",
+    "bootstrap_mean",
+    "bootstrap_statistic",
+    "MethodComparison",
+    "compare_methods",
+    "render_comparison",
+]

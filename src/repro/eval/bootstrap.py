@@ -1,0 +1,108 @@
+"""Bootstrap confidence intervals for experiment metrics.
+
+The paper reports point averages over 100 queries; with the smaller
+workloads a pure-Python reproduction can afford, point averages alone
+can mislead.  The benchmark reports therefore attach percentile
+bootstrap confidence intervals to each aggregate: resample the
+per-query metric values with replacement, recompute the mean, and take
+empirical percentiles of the resampled means.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+__all__ = ["ConfidenceInterval", "bootstrap_mean", "bootstrap_statistic"]
+
+
+@dataclass
+class ConfidenceInterval:
+    """A point estimate with a bootstrap percentile interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.estimate:.4g} "
+            f"[{self.low:.4g}, {self.high:.4g}]@{self.confidence:.0%}"
+        )
+
+    @property
+    def width(self) -> float:
+        """Interval width — the uncertainty of the estimate."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether *value* lies inside the interval (inclusive)."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_statistic(
+    values: Sequence[float],
+    statistic: Callable[[Sequence[float]], float],
+    confidence: float = 0.95,
+    num_resamples: int = 1000,
+    seed: Optional[int] = None,
+) -> ConfidenceInterval:
+    """Percentile bootstrap interval for an arbitrary statistic.
+
+    Parameters
+    ----------
+    values:
+        The per-query observations (non-empty).
+    statistic:
+        Maps a sample to a scalar (e.g. ``statistics.fmean``).
+    confidence:
+        Two-sided coverage level in (0, 1).
+    num_resamples:
+        Bootstrap replicates; 1000 is plenty for reporting purposes.
+    """
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if num_resamples <= 0:
+        raise ValueError(
+            f"num_resamples must be positive, got {num_resamples}"
+        )
+    rng = random.Random(seed)
+    point = statistic(values)
+    n = len(values)
+    replicates: List[float] = []
+    for _ in range(num_resamples):
+        resample = [values[rng.randrange(n)] for _ in range(n)]
+        replicates.append(statistic(resample))
+    replicates.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo_index = max(0, min(n and len(replicates) - 1,
+                          int(alpha * len(replicates))))
+    hi_index = max(0, min(len(replicates) - 1,
+                          int((1.0 - alpha) * len(replicates))))
+    return ConfidenceInterval(
+        estimate=point,
+        low=replicates[lo_index],
+        high=replicates[hi_index],
+        confidence=confidence,
+    )
+
+
+def bootstrap_mean(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 1000,
+    seed: Optional[int] = None,
+) -> ConfidenceInterval:
+    """Percentile bootstrap interval for the sample mean."""
+    return bootstrap_statistic(
+        values,
+        statistics.fmean,
+        confidence=confidence,
+        num_resamples=num_resamples,
+        seed=seed,
+    )

@@ -1,0 +1,139 @@
+"""Generic method-comparison runner with bootstrap confidence intervals.
+
+Generalizes :mod:`repro.eval.harness` beyond the engine's built-in
+methods: any callables with the :data:`repro.reliability.estimators.
+SearchMethod` signature can be compared on a workload against a chosen
+ground-truth method, with per-metric bootstrap confidence intervals
+(`repro.eval.bootstrap`) attached — the reporting standard the
+benchmark suite's smaller workloads call for.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..graph.uncertain import UncertainGraph
+from ..reliability.estimators import SearchMethod
+from .bootstrap import ConfidenceInterval, bootstrap_mean
+from .metrics import precision, recall
+from .reporting import format_table
+
+__all__ = ["MethodComparison", "compare_methods"]
+
+
+@dataclass
+class MethodComparison:
+    """Aggregated comparison of one method against the ground truth."""
+
+    method: str
+    precision_ci: ConfidenceInterval
+    recall_ci: ConfidenceInterval
+    seconds_ci: ConfidenceInterval
+    per_query_precision: List[float] = field(default_factory=list)
+    per_query_recall: List[float] = field(default_factory=list)
+    per_query_seconds: List[float] = field(default_factory=list)
+
+    def as_row(self) -> List[object]:
+        """One table row: method, P [CI], R [CI], time [CI]."""
+        return [
+            self.method,
+            f"{self.precision_ci.estimate:.3f} "
+            f"[{self.precision_ci.low:.3f}, {self.precision_ci.high:.3f}]",
+            f"{self.recall_ci.estimate:.3f} "
+            f"[{self.recall_ci.low:.3f}, {self.recall_ci.high:.3f}]",
+            f"{self.seconds_ci.estimate:.4g} "
+            f"[{self.seconds_ci.low:.4g}, {self.seconds_ci.high:.4g}]",
+        ]
+
+
+def compare_methods(
+    graph: UncertainGraph,
+    methods: Dict[str, SearchMethod],
+    workload: Sequence[Sequence[int]],
+    eta: float,
+    truth_method: str,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Dict[str, MethodComparison]:
+    """Run every method on every query and score against *truth_method*.
+
+    Parameters
+    ----------
+    methods:
+        Name -> callable map (see
+        :func:`repro.reliability.estimators.make_method_suite`).  Must
+        contain *truth_method*.
+    workload:
+        A list of source-node lists.
+    truth_method:
+        The method whose answers serve as ground truth (scored 1.0 / 1.0
+        against itself, with its own timing still measured).
+
+    Returns
+    -------
+    dict:
+        Name -> :class:`MethodComparison`, including the truth method.
+    """
+    if truth_method not in methods:
+        raise KeyError(
+            f"truth method {truth_method!r} missing from methods "
+            f"{sorted(methods)}"
+        )
+    if not workload:
+        raise ValueError("workload must contain at least one query")
+
+    # Evaluate the ground truth once per query.
+    truths = []
+    truth_times = []
+    for sources in workload:
+        start = time.perf_counter()
+        truths.append(methods[truth_method](graph, list(sources), eta))
+        truth_times.append(time.perf_counter() - start)
+
+    results: Dict[str, MethodComparison] = {}
+    for name, method in methods.items():
+        precisions: List[float] = []
+        recalls: List[float] = []
+        times: List[float] = []
+        for index, sources in enumerate(workload):
+            if name == truth_method:
+                answer = truths[index]
+                elapsed = truth_times[index]
+            else:
+                start = time.perf_counter()
+                answer = method(graph, list(sources), eta)
+                elapsed = time.perf_counter() - start
+            precisions.append(precision(answer, truths[index]))
+            recalls.append(recall(answer, truths[index]))
+            times.append(elapsed)
+        results[name] = MethodComparison(
+            method=name,
+            precision_ci=bootstrap_mean(
+                precisions, confidence=confidence, seed=seed
+            ),
+            recall_ci=bootstrap_mean(
+                recalls, confidence=confidence, seed=seed + 1
+            ),
+            seconds_ci=bootstrap_mean(
+                times, confidence=confidence, seed=seed + 2
+            ),
+            per_query_precision=precisions,
+            per_query_recall=recalls,
+            per_query_seconds=times,
+        )
+    return results
+
+
+def render_comparison(
+    results: Dict[str, MethodComparison], title: str = ""
+) -> str:
+    """Format a :func:`compare_methods` result as an aligned table."""
+    rows = [results[name].as_row() for name in sorted(results)]
+    return format_table(
+        ["method", "precision [95% CI]", "recall [95% CI]",
+         "time (s) [95% CI]"],
+        rows,
+        title=title,
+    )

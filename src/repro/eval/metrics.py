@@ -1,0 +1,68 @@
+"""Accuracy metrics (paper, Section 7.1, "Accuracy assessment criteria").
+
+The paper measures every method against the MC-Sampling answer set
+``T*`` (treated as ground-truth proxy): ``precision = |T ∩ T*| / |T|``
+and ``recall = |T ∩ T*| / |T*|``.  Empty denominators follow the usual
+conventions (an empty prediction has precision 1; an empty truth set has
+recall 1), so the degenerate cases that appear with very high ``η`` do
+not crash the harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+__all__ = ["precision", "recall", "f1_score", "jaccard", "PrecisionRecall"]
+
+
+def precision(predicted: Set[int], truth: Set[int]) -> float:
+    """``|predicted ∩ truth| / |predicted|`` (1.0 when nothing predicted)."""
+    if not predicted:
+        return 1.0
+    return len(predicted & truth) / len(predicted)
+
+
+def recall(predicted: Set[int], truth: Set[int]) -> float:
+    """``|predicted ∩ truth| / |truth|`` (1.0 when the truth set is empty)."""
+    if not truth:
+        return 1.0
+    return len(predicted & truth) / len(truth)
+
+
+def f1_score(predicted: Set[int], truth: Set[int]) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(predicted, truth)
+    r = recall(predicted, truth)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def jaccard(predicted: Set[int], truth: Set[int]) -> float:
+    """``|predicted ∩ truth| / |predicted ∪ truth|`` (1.0 for two empties)."""
+    union = predicted | truth
+    if not union:
+        return 1.0
+    return len(predicted & truth) / len(union)
+
+
+@dataclass
+class PrecisionRecall:
+    """A bundled precision/recall pair with convenience constructors."""
+
+    precision: float
+    recall: float
+
+    @classmethod
+    def of(cls, predicted: Set[int], truth: Set[int]) -> "PrecisionRecall":
+        return cls(precision(predicted, truth), recall(predicted, truth))
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return (
+            2.0 * self.precision * self.recall
+            / (self.precision + self.recall)
+        )

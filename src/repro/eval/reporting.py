@@ -1,0 +1,114 @@
+"""Plain-text table/series rendering for the benchmark drivers.
+
+The paper reports results as tables (Tables 4-8) and plotted series
+(Figures 3-5).  Since the benchmark harness runs headless, figures are
+rendered as aligned text series — the same rows/columns the paper plots,
+suitable for diffing across runs and for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["format_table", "format_series", "empirical_cdf", "ascii_histogram"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are formatted with *float_format*; everything else with
+    ``str``.  Column widths adapt to content.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[i]) if i < len(widths) else cell
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    points: Sequence[Tuple[object, object]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one figure series as aligned ``x y`` pairs."""
+    lines = [f"series: {name}  ({x_label} -> {y_label})"]
+    for x, y in points:
+        x_str = f"{x:.4g}" if isinstance(x, float) else str(x)
+        y_str = f"{y:.4g}" if isinstance(y, float) else str(y)
+        lines.append(f"  {x_str:>10}  {y_str}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    bins: Sequence[Tuple[float, float, int]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render ``(lo, hi, count)`` bins as horizontal ASCII bars.
+
+    Used by the CLI ``stats`` command to visualise the arc-probability
+    distribution (the textual Figure 3) without any plotting
+    dependency.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    peak = max((count for _, _, count in bins), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for lo, hi, count in bins:
+        bar = "#" * (round(width * count / peak) if peak else 0)
+        lines.append(f"  [{lo:4.2f}, {hi:4.2f})  {count:>8}  {bar}")
+    return "\n".join(lines)
+
+
+def empirical_cdf(
+    values: Sequence[float], grid: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """Empirical cdf of *values* evaluated on *grid* (for Figure 3).
+
+    Returns ``(x, F(x))`` pairs where ``F(x)`` is the fraction of
+    values ``<= x``.
+    """
+    if not values:
+        return [(x, 0.0) for x in grid]
+    ordered = sorted(values)
+    n = len(ordered)
+    result: List[Tuple[float, float]] = []
+    index = 0
+    for x in sorted(grid):
+        while index < n and ordered[index] <= x:
+            index += 1
+        result.append((x, index / n))
+    return result

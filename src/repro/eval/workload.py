@@ -1,0 +1,94 @@
+"""Query-workload generation (paper, Section 7.1).
+
+The paper's workloads are:
+
+* **single-source**: a node selected uniformly at random;
+* **multiple-source**: a set of nodes selected uniformly at random from a
+  subgraph of bounded diameter ``d`` (d ∈ {2, 4, 6}), with set sizes from
+  2 to 20 — query nodes in applications are near each other, and the
+  diameter knob controls how near.
+
+We realise the bounded-diameter subgraph as an undirected ball of radius
+``ceil(d / 2)`` around a random center (any two ball members are within
+``d`` hops of each other through the center), resampling centers whose
+ball is too small.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..errors import GraphError
+from ..graph.traversal import induced_ball
+from ..graph.uncertain import UncertainGraph
+
+__all__ = ["single_source_workload", "multi_source_workload"]
+
+
+def single_source_workload(
+    graph: UncertainGraph,
+    count: int,
+    seed: Optional[int] = None,
+    require_out_degree: bool = True,
+) -> List[int]:
+    """*count* uniformly random query nodes.
+
+    With ``require_out_degree`` (the default) only nodes with at least
+    one outgoing arc are drawn — a sourceless query answers trivially
+    with itself and would only dilute timing comparisons.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    rng = random.Random(seed)
+    if require_out_degree:
+        pool = [u for u in graph.nodes() if graph.out_degree(u) > 0]
+    else:
+        pool = list(graph.nodes())
+    if not pool:
+        raise GraphError("graph has no eligible query nodes")
+    return [rng.choice(pool) for _ in range(count)]
+
+
+def multi_source_workload(
+    graph: UncertainGraph,
+    count: int,
+    set_size: int,
+    diameter: int,
+    seed: Optional[int] = None,
+    max_attempts: int = 200,
+) -> List[List[int]]:
+    """*count* source sets of *set_size* nodes from diameter-*d* balls.
+
+    Each set is drawn uniformly from an undirected ball of radius
+    ``ceil(diameter / 2)`` around a random center.  Centers whose ball
+    holds fewer than *set_size* nodes are resampled; after
+    *max_attempts* failures the largest ball seen is used (with
+    replacement-free sampling of however many nodes it has) so the
+    generator degrades gracefully on sparse graphs.
+    """
+    if count <= 0 or set_size <= 0:
+        raise ValueError("count and set_size must be positive")
+    if diameter < 1:
+        raise ValueError(f"diameter must be >= 1, got {diameter}")
+    rng = random.Random(seed)
+    nodes = list(graph.nodes())
+    if not nodes:
+        raise GraphError("cannot draw queries from an empty graph")
+    radius = (diameter + 1) // 2
+    workload: List[List[int]] = []
+    for _ in range(count):
+        best_ball: List[int] = []
+        chosen: Optional[List[int]] = None
+        for _ in range(max_attempts):
+            center = rng.choice(nodes)
+            ball = sorted(induced_ball(graph, center, radius))
+            if len(ball) > len(best_ball):
+                best_ball = ball
+            if len(ball) >= set_size:
+                chosen = rng.sample(ball, set_size)
+                break
+        if chosen is None:
+            chosen = rng.sample(best_ball, min(set_size, len(best_ball)))
+        workload.append(sorted(chosen))
+    return workload

@@ -1,0 +1,24 @@
+"""Max-flow / min-cut substrate (Dinic and Goldberg–Tarjan push–relabel)."""
+
+from .network import FlowNetwork, EPSILON
+from .dinic import dinic_max_flow
+from .push_relabel import push_relabel_max_flow
+from .mincut import (
+    solve_max_flow,
+    multi_terminal_max_flow,
+    min_cut_arcs,
+    min_cut_partition,
+    FLOW_ENGINES,
+)
+
+__all__ = [
+    "FlowNetwork",
+    "EPSILON",
+    "dinic_max_flow",
+    "push_relabel_max_flow",
+    "solve_max_flow",
+    "multi_terminal_max_flow",
+    "min_cut_arcs",
+    "min_cut_partition",
+    "FLOW_ENGINES",
+]

@@ -1,0 +1,117 @@
+"""Dinic's max-flow algorithm (level graph + blocking flow).
+
+Dinic's algorithm runs in ``O(V^2 E)`` in general and much faster in
+practice on the sparse, shallow networks produced by Algorithm 1 of the
+paper (the cluster boundary subgraphs).  It is the library's default
+max-flow engine; :mod:`repro.flow.push_relabel` provides the alternative
+the paper cites (Goldberg–Tarjan) and an ablation benchmark compares the
+two.
+
+Infinite capacities are supported: an augmenting path with bottleneck
+``inf`` indicates unbounded flow, reported as ``math.inf`` (this happens
+when the source set touches the sink side through arcs with ``p = 1``;
+the caller maps it back to ``U_out = 1.0``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import List, Optional
+
+from .network import EPSILON, FlowNetwork
+
+__all__ = ["dinic_max_flow"]
+
+
+def _build_levels(
+    network: FlowNetwork, source: int, sink: int
+) -> Optional[List[int]]:
+    """BFS level assignment on positive-residual edges; None if sink unreached."""
+    levels = [-1] * network.num_nodes
+    levels[source] = 0
+    queue: deque = deque([source])
+    capacity = network.capacity
+    edge_to = network.edge_to
+    while queue:
+        u = queue.popleft()
+        for e in network.adjacency[u]:
+            if capacity[e] > EPSILON:
+                v = edge_to[e]
+                if levels[v] == -1:
+                    levels[v] = levels[u] + 1
+                    queue.append(v)
+    if levels[sink] == -1:
+        return None
+    return levels
+
+
+def _blocking_flow(
+    network: FlowNetwork,
+    source: int,
+    sink: int,
+    levels: List[int],
+    iterators: List[int],
+) -> float:
+    """One DFS augmentation along the level graph; returns pushed value."""
+    capacity = network.capacity
+    edge_to = network.edge_to
+    adjacency = network.adjacency
+    # Iterative DFS with per-node edge pointers (current-arc heuristic).
+    path_edges: List[int] = []
+    u = source
+    while True:
+        if u == sink:
+            bottleneck = math.inf
+            for e in path_edges:
+                if capacity[e] < bottleneck:
+                    bottleneck = capacity[e]
+            if bottleneck is math.inf or math.isinf(bottleneck):
+                return math.inf
+            for e in path_edges:
+                capacity[e] -= bottleneck
+                capacity[e ^ 1] += bottleneck
+            return bottleneck
+        advanced = False
+        while iterators[u] < len(adjacency[u]):
+            e = adjacency[u][iterators[u]]
+            v = edge_to[e]
+            if capacity[e] > EPSILON and levels[v] == levels[u] + 1:
+                path_edges.append(e)
+                u = v
+                advanced = True
+                break
+            iterators[u] += 1
+        if advanced:
+            continue
+        # Dead end: retreat.
+        levels[u] = -1
+        if not path_edges:
+            return 0.0
+        last = path_edges.pop()
+        u = edge_to[last ^ 1]
+        iterators[u] += 1
+
+
+def dinic_max_flow(network: FlowNetwork, source: int, sink: int) -> float:
+    """Compute the max-flow value from *source* to *sink*.
+
+    Mutates the network's residual capacities in place (callers that need
+    to reuse the network should snapshot capacities first).  Returns
+    ``math.inf`` when the flow is unbounded.
+    """
+    if source == sink:
+        return math.inf
+    total = 0.0
+    while True:
+        levels = _build_levels(network, source, sink)
+        if levels is None:
+            return total
+        iterators = [0] * network.num_nodes
+        while True:
+            pushed = _blocking_flow(network, source, sink, levels, iterators)
+            if pushed == 0.0:
+                break
+            if math.isinf(pushed):
+                return math.inf
+            total += pushed

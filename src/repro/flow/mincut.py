@@ -1,0 +1,114 @@
+"""Min-cut extraction and the multi-source/multi-sink reduction.
+
+The RQ-tree's outreach upper bound (paper, Theorems 1-2) is the value of
+a minimum cut between the query sources ``S`` and the cluster boundary
+``C̄'`` on the ``-log(1 - p)``-capacitated graph.  This module provides
+
+* :func:`solve_max_flow` — dispatch between the two flow engines,
+* :func:`multi_terminal_max_flow` — the paper's footnote-1 reduction:
+  a dummy source connected to all of ``S`` and a dummy sink collecting
+  all of ``T`` with infinite-capacity arcs,
+* :func:`min_cut_arcs` / :func:`min_cut_partition` — recover the actual
+  cut (used by tests to validate flow values and by diagnostics).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import FlowError
+from .dinic import dinic_max_flow
+from .network import EPSILON, FlowNetwork
+from .push_relabel import push_relabel_max_flow
+
+__all__ = [
+    "solve_max_flow",
+    "multi_terminal_max_flow",
+    "min_cut_arcs",
+    "min_cut_partition",
+    "FLOW_ENGINES",
+]
+
+#: Registry of available max-flow engines.
+FLOW_ENGINES = {
+    "dinic": dinic_max_flow,
+    "push_relabel": push_relabel_max_flow,
+}
+
+
+def solve_max_flow(
+    network: FlowNetwork, source: int, sink: int, engine: str = "dinic"
+) -> float:
+    """Run the selected engine and return the max-flow value."""
+    try:
+        solver = FLOW_ENGINES[engine]
+    except KeyError:
+        raise FlowError(
+            f"unknown flow engine {engine!r}; choose from {sorted(FLOW_ENGINES)}"
+        ) from None
+    return solver(network, source, sink)
+
+
+def multi_terminal_max_flow(
+    num_nodes: int,
+    arcs: Iterable[Tuple[int, int, float]],
+    sources: Iterable[int],
+    sinks: Iterable[int],
+    engine: str = "dinic",
+) -> Tuple[float, FlowNetwork, int, int]:
+    """Max-flow from a source *set* to a sink *set*.
+
+    Implements the classic reduction the paper uses (footnote 1): attach
+    a dummy source ``s0`` to every node of *sources* and every node of
+    *sinks* to a dummy sink ``t0``, with infinite capacities on the dummy
+    arcs.  Returns ``(flow_value, network, s0, t0)`` so callers can
+    inspect the residual network (e.g. for cut extraction).
+
+    ``sources`` and ``sinks`` may overlap; any shared node makes the flow
+    infinite, consistent with the cut interpretation (no arc set can
+    separate a node from itself).
+    """
+    source_list = list(dict.fromkeys(sources))
+    sink_list = list(dict.fromkeys(sinks))
+    network = FlowNetwork(num_nodes)
+    for u, v, capacity in arcs:
+        if capacity > EPSILON:
+            network.add_edge(u, v, capacity)
+    s0 = network.add_node()
+    t0 = network.add_node()
+    if set(source_list) & set(sink_list):
+        return math.inf, network, s0, t0
+    for s in source_list:
+        network.add_edge(s0, s, math.inf)
+    for t in sink_list:
+        network.add_edge(t, t0, math.inf)
+    if not source_list or not sink_list:
+        return 0.0, network, s0, t0
+    value = solve_max_flow(network, s0, t0, engine=engine)
+    return value, network, s0, t0
+
+
+def min_cut_partition(network: FlowNetwork, source: int) -> Set[int]:
+    """Source side of a minimum cut, from a *solved* residual network."""
+    reachable = network.residual_reachable(source)
+    return {v for v, ok in enumerate(reachable) if ok}
+
+
+def min_cut_arcs(
+    network: FlowNetwork,
+    source: int,
+    original_arcs: Sequence[Tuple[int, int, float]],
+) -> List[Tuple[int, int, float]]:
+    """The arcs crossing the minimum cut, from a *solved* network.
+
+    ``original_arcs`` must be the same ``(u, v, capacity)`` sequence (and
+    order) passed to :func:`multi_terminal_max_flow`; the function maps
+    the residual source side back onto it.
+    """
+    side = network.residual_reachable(source)
+    cut: List[Tuple[int, int, float]] = []
+    for u, v, capacity in original_arcs:
+        if capacity > EPSILON and side[u] and not side[v]:
+            cut.append((u, v, capacity))
+    return cut

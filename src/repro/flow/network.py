@@ -1,0 +1,115 @@
+"""Residual flow-network representation.
+
+A compact adjacency-array residual network shared by both max-flow
+implementations (:mod:`repro.flow.dinic`, :mod:`repro.flow.push_relabel`).
+Every directed edge is stored together with its reverse edge at the
+adjacent index (``e ^ 1``), the classic trick that makes residual updates
+O(1) without hash lookups.
+
+Capacities are floats and may be ``math.inf`` — the paper's reduction
+(footnote 1, Section 4.1) attaches a dummy super-source and super-sink with
+infinite-capacity arcs, and arcs with ``p(a) = 1`` map to infinite
+capacity under ``c(a) = -log(1 - p(a))``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import InvalidCapacityError, FlowError
+
+__all__ = ["FlowNetwork", "EPSILON"]
+
+#: Tolerance used for float comparisons throughout the flow subsystem.
+EPSILON = 1e-12
+
+
+class FlowNetwork:
+    """A directed flow network over nodes ``0 .. n-1``.
+
+    Edges are appended with :meth:`add_edge`; each call creates the
+    forward residual edge and a zero-capacity reverse edge.  After a
+    max-flow run, :meth:`flow_on` reports per-edge flow and
+    :meth:`residual_capacity` the remaining slack.
+    """
+
+    __slots__ = ("num_nodes", "edge_to", "capacity", "adjacency", "_frozen")
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 0:
+            raise FlowError(f"node count must be non-negative: {num_nodes}")
+        self.num_nodes = num_nodes
+        self.edge_to: List[int] = []       # head node of each residual edge
+        self.capacity: List[float] = []    # remaining capacity of each edge
+        self.adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+        self._frozen = False
+
+    def add_node(self) -> int:
+        """Append a fresh node (used for dummy source/sink) and return it."""
+        self.adjacency.append([])
+        self.num_nodes += 1
+        return self.num_nodes - 1
+
+    def add_edge(self, u: int, v: int, capacity: float) -> int:
+        """Add edge ``u -> v`` with the given capacity; return its index.
+
+        The reverse edge is created automatically at index ``returned ^ 1``.
+        """
+        if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+            raise FlowError(f"edge ({u}, {v}) references missing nodes")
+        if math.isnan(capacity) or capacity < 0:
+            raise InvalidCapacityError(capacity)
+        index = len(self.edge_to)
+        self.edge_to.append(v)
+        self.capacity.append(capacity)
+        self.adjacency[u].append(index)
+        self.edge_to.append(u)
+        self.capacity.append(0.0)
+        self.adjacency[v].append(index + 1)
+        return index
+
+    @property
+    def num_edges(self) -> int:
+        """Number of *forward* edges (excluding residual reverses)."""
+        return len(self.edge_to) // 2
+
+    def snapshot_capacities(self) -> List[float]:
+        """Copy of the current residual capacities (for reuse/reset)."""
+        return list(self.capacity)
+
+    def restore_capacities(self, snapshot: Sequence[float]) -> None:
+        """Restore capacities from :meth:`snapshot_capacities` output."""
+        if len(snapshot) != len(self.capacity):
+            raise FlowError("capacity snapshot does not match network")
+        self.capacity = list(snapshot)
+
+    def flow_on(self, edge_index: int, original_capacity: float) -> float:
+        """Flow pushed on forward edge *edge_index* given its original cap."""
+        return original_capacity - self.capacity[edge_index]
+
+    def residual_capacity(self, edge_index: int) -> float:
+        """Remaining capacity on a residual edge."""
+        return self.capacity[edge_index]
+
+    def residual_reachable(self, source: int) -> List[bool]:
+        """Nodes reachable from *source* via positive-residual edges.
+
+        After a max-flow computation this is the source side of a minimum
+        cut (max-flow/min-cut theorem); :mod:`repro.flow.mincut` builds on
+        it.
+        """
+        seen = [False] * self.num_nodes
+        seen[source] = True
+        stack = [source]
+        capacity = self.capacity
+        edge_to = self.edge_to
+        while stack:
+            u = stack.pop()
+            for e in self.adjacency[u]:
+                if capacity[e] > EPSILON:
+                    v = edge_to[e]
+                    if not seen[v]:
+                        seen[v] = True
+                        stack.append(v)
+        return seen

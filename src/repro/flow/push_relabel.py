@@ -1,0 +1,138 @@
+"""Goldberg–Tarjan push–relabel max-flow (highest-label + gap heuristic).
+
+The paper cites Goldberg and Tarjan [16] as "one of the fastest existing
+max-flow algorithms" with running time ``O~(n m)``; this module implements
+it with the two standard practical accelerations:
+
+* **highest-label selection** — active nodes are processed in decreasing
+  label order (bucket queue), which gives the ``O(V^2 sqrt(E))`` bound;
+* **gap heuristic** — when a label value becomes empty, every node above
+  the gap is lifted straight to ``V + 1`` (it can only ever route flow
+  back to the source).
+
+Infinite capacities are handled by substitution: ``inf`` is replaced by
+``1 + sum of finite capacities``, a value no finite min cut can reach; if
+the computed flow meets that bound the true flow is unbounded and
+``math.inf`` is returned (matching :func:`repro.flow.dinic.dinic_max_flow`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .network import EPSILON, FlowNetwork
+
+__all__ = ["push_relabel_max_flow"]
+
+
+def push_relabel_max_flow(
+    network: FlowNetwork, source: int, sink: int
+) -> float:
+    """Compute the max-flow value from *source* to *sink*.
+
+    Mutates residual capacities in place.  Returns ``math.inf`` for
+    unbounded flow.
+    """
+    if source == sink:
+        return math.inf
+    n = network.num_nodes
+    capacity = network.capacity
+    edge_to = network.edge_to
+    adjacency = network.adjacency
+
+    # Replace infinite capacities with an unreachable finite bound.
+    finite_total = sum(c for c in capacity if not math.isinf(c))
+    big = finite_total + 1.0
+    inf_edges = [e for e, c in enumerate(capacity) if math.isinf(c)]
+    for e in inf_edges:
+        capacity[e] = big
+
+    height = [0] * n
+    excess = [0.0] * n
+    height[source] = n
+
+    # Count of nodes at each height for the gap heuristic.
+    height_count = [0] * (2 * n + 1)
+    height_count[0] = n - 1
+    height_count[n] = 1
+
+    # Bucket queue of active nodes by height.
+    buckets: List[List[int]] = [[] for _ in range(2 * n + 1)]
+    in_bucket = [False] * n
+    highest = 0
+
+    def activate(v: int) -> None:
+        nonlocal highest
+        if v != source and v != sink and not in_bucket[v] and excess[v] > EPSILON:
+            in_bucket[v] = True
+            buckets[height[v]].append(v)
+            if height[v] > highest:
+                highest = height[v]
+
+    # Saturate all source edges.
+    for e in adjacency[source]:
+        delta = capacity[e]
+        if delta > EPSILON:
+            v = edge_to[e]
+            capacity[e] = 0.0
+            capacity[e ^ 1] += delta
+            excess[v] += delta
+            excess[source] -= delta
+            activate(v)
+
+    pointer = [0] * n  # current-arc pointers
+
+    while highest >= 0:
+        if not buckets[highest]:
+            highest -= 1
+            continue
+        u = buckets[highest].pop()
+        in_bucket[u] = False
+        if excess[u] <= EPSILON:
+            continue
+        while excess[u] > EPSILON:
+            if pointer[u] == len(adjacency[u]):
+                # Relabel: lift u to one more than its lowest admissible
+                # neighbour.
+                old_height = height[u]
+                min_height = 2 * n
+                for e in adjacency[u]:
+                    if capacity[e] > EPSILON:
+                        h = height[edge_to[e]]
+                        if h < min_height:
+                            min_height = h
+                height[u] = min_height + 1
+                pointer[u] = 0
+                height_count[old_height] -= 1
+                if height_count[old_height] == 0 and old_height < n:
+                    # Gap heuristic: nodes above the gap are disconnected
+                    # from the sink; lift them past n.
+                    for w in range(n):
+                        if old_height < height[w] <= n and w != source:
+                            height_count[height[w]] -= 1
+                            height[w] = n + 1
+                            height_count[n + 1] += 1
+                if height[u] <= 2 * n:
+                    height_count[height[u]] += 1
+                if height[u] >= 2 * n:
+                    break
+                continue
+            e = adjacency[u][pointer[u]]
+            v = edge_to[e]
+            if capacity[e] > EPSILON and height[u] == height[v] + 1:
+                delta = min(excess[u], capacity[e])
+                capacity[e] -= delta
+                capacity[e ^ 1] += delta
+                excess[u] -= delta
+                excess[v] += delta
+                activate(v)
+            else:
+                pointer[u] += 1
+        if excess[u] > EPSILON and height[u] < 2 * n:
+            activate(u)
+
+    flow = excess[sink]
+    if flow >= big - EPSILON:
+        return math.inf
+    return max(0.0, flow)

@@ -1,0 +1,250 @@
+"""Correlated arc existence: the shared-fate model.
+
+The paper's closing future-work item is "the case where arc
+probabilities are not independent" (Section 9).  This module provides
+the simplest useful departure from independence — a **shared-fate
+(common-cause) model**:
+
+* arcs are partitioned into *fate groups* (a physical trunk link shared
+  by several logical links, a data source feeding several predicted
+  interactions, a road segment shared by lanes);
+* group ``g`` is *alive* independently with probability ``q(g)``;
+* arc ``a`` in group ``g`` exists iff its group is alive **and** its own
+  independent coin succeeds: ``Pr[a] = q(g) · p(a | alive)``.
+
+Within a group, arc existences are positively correlated; across
+groups everything is independent.  Ungrouped arcs behave exactly as in
+the independent model.
+
+Two facts matter for the RQ-tree:
+
+* the **marginal graph** (:meth:`SharedFateModel.marginal_graph`) maps
+  each arc to its marginal probability ``q(g) p(a)`` — an independent
+  approximation that existing machinery can index;
+* positive correlation makes the *independent* most-likely-path lower
+  bound invalid in general (a path's arcs in one group succeed together
+  more often than independence predicts — the bound direction is
+  actually preserved for a single path within one group, but cut-based
+  upper bounds can be violated).  The benchmark
+  ``bench_correlation.py`` quantifies how the independence
+  approximation degrades as correlation strengthens, which is the
+  empirical groundwork for the paper's future-work direction.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import EmptySourceSetError, GraphError, InvalidProbabilityError
+from .uncertain import Arc, UncertainGraph
+
+__all__ = ["SharedFateModel", "correlated_mc_search", "exact_correlated_reliability"]
+
+
+class SharedFateModel:
+    """An uncertain graph whose arcs share latent failure causes.
+
+    Parameters
+    ----------
+    graph:
+        Base uncertain graph; each arc's probability is interpreted as
+        the *conditional* existence probability given its group is
+        alive.
+    group_of:
+        Map from arcs ``(u, v)`` to group ids.  Arcs absent from the
+        map are independent (their own coin only).
+    group_probability:
+        Map from group id to the group's alive-probability ``q(g)``.
+        Every group referenced by *group_of* must be present.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        group_of: Dict[Arc, int],
+        group_probability: Dict[int, float],
+    ) -> None:
+        for arc, group in group_of.items():
+            u, v = arc
+            if not graph.has_arc(u, v):
+                raise GraphError(f"grouped arc {arc} is not in the graph")
+            if group not in group_probability:
+                raise GraphError(f"group {group} has no probability")
+        for group, q in group_probability.items():
+            if not 0.0 < q <= 1.0:
+                raise InvalidProbabilityError(q, ("group", group))
+        self.graph = graph
+        self.group_of = dict(group_of)
+        self.group_probability = dict(group_probability)
+
+    @property
+    def num_groups(self) -> int:
+        """Number of declared fate groups."""
+        return len(self.group_probability)
+
+    def marginal_probability(self, u: int, v: int) -> float:
+        """Marginal existence probability ``q(g) * p(a)`` of one arc."""
+        p = self.graph.probability(u, v)
+        group = self.group_of.get((u, v))
+        if group is None:
+            return p
+        return self.group_probability[group] * p
+
+    def marginal_graph(self) -> UncertainGraph:
+        """The independent approximation: arcs at their marginals.
+
+        Discards all correlation; useful for indexing with the existing
+        RQ-tree machinery and as the comparison point in the
+        correlation benchmark.
+        """
+        result = UncertainGraph(self.graph.num_nodes)
+        for u, v, _ in self.graph.arcs():
+            result.add_arc(u, v, self.marginal_probability(u, v))
+        return result
+
+    def sample_alive_groups(self, rng: random.Random) -> Set[int]:
+        """Draw the latent layer: which groups are alive this world."""
+        return {
+            group
+            for group, q in self.group_probability.items()
+            if rng.random() < q
+        }
+
+    def sample_reachable(
+        self,
+        sources: Iterable[int],
+        rng: random.Random,
+        max_hops: Optional[int] = None,
+    ) -> Set[int]:
+        """Nodes reachable from *sources* in one correlated world.
+
+        The latent group layer is drawn first (this is what couples the
+        arcs); arc coins are then flipped lazily during the BFS exactly
+        as in the independent sampler.
+        """
+        alive = self.sample_alive_groups(rng)
+        group_of = self.group_of
+        visited: Set[int] = set()
+        frontier: deque = deque()
+        for s in sources:
+            if s not in visited:
+                visited.add(s)
+                frontier.append(s)
+        rng_random = rng.random
+        depth = 0
+        while frontier:
+            if max_hops is not None and depth >= max_hops:
+                break
+            next_frontier: deque = deque()
+            for u in frontier:
+                for v, p in self.graph.successors(u).items():
+                    if v in visited:
+                        continue
+                    group = group_of.get((u, v))
+                    if group is not None and group not in alive:
+                        continue
+                    if rng_random() < p:
+                        visited.add(v)
+                        next_frontier.append(v)
+            frontier = next_frontier
+            depth += 1
+        return visited
+
+
+def correlated_mc_search(
+    model: SharedFateModel,
+    sources: Sequence[int],
+    eta: float,
+    num_samples: int = 1000,
+    seed: Optional[int] = None,
+) -> Set[int]:
+    """Monte-Carlo reliability search under the shared-fate model.
+
+    The ground-truth method for correlated graphs: no independence
+    assumption anywhere, cost ``O(K (n + m))`` like plain MC-Sampling.
+    """
+    source_list = list(dict.fromkeys(sources))
+    if not source_list:
+        raise EmptySourceSetError()
+    if num_samples <= 0:
+        raise ValueError(f"num_samples must be positive, got {num_samples}")
+    rng = random.Random(seed)
+    counts: Dict[int, int] = {}
+    for _ in range(num_samples):
+        for node in model.sample_reachable(source_list, rng):
+            counts[node] = counts.get(node, 0) + 1
+    threshold = eta * num_samples
+    return {node for node, count in counts.items() if count >= threshold}
+
+
+def exact_correlated_reliability(
+    model: SharedFateModel,
+    sources: Sequence[int],
+    target: int,
+) -> float:
+    """Exact ``R(S, t)`` under shared fates, by double enumeration.
+
+    Enumerates group-alive patterns and, within each, arc patterns —
+    exponential in ``#groups + #arcs`` (limit 18 combined), a test
+    oracle only.
+    """
+    source_list = list(dict.fromkeys(sources))
+    if not source_list:
+        raise EmptySourceSetError()
+    if target in source_list:
+        return 1.0
+    arcs = list(model.graph.arcs())
+    groups = sorted(model.group_probability)
+    if len(arcs) + len(groups) > 18:
+        raise ValueError("exact correlated oracle limited to 18 coins")
+
+    total = 0.0
+    for group_mask in range(1 << len(groups)):
+        group_prob = 1.0
+        alive: Set[int] = set()
+        for i, group in enumerate(groups):
+            q = model.group_probability[group]
+            if group_mask >> i & 1:
+                group_prob *= q
+                alive.add(group)
+            else:
+                group_prob *= 1.0 - q
+        if group_prob == 0.0:
+            continue
+        # Arcs whose group is dead cannot exist; others keep their coin.
+        live_arcs = [
+            (u, v, p)
+            for u, v, p in arcs
+            if model.group_of.get((u, v)) is None
+            or model.group_of[(u, v)] in alive
+        ]
+        for arc_mask in range(1 << len(live_arcs)):
+            world_prob = group_prob
+            adjacency: Dict[int, List[int]] = {}
+            for i, (u, v, p) in enumerate(live_arcs):
+                if arc_mask >> i & 1:
+                    world_prob *= p
+                    adjacency.setdefault(u, []).append(v)
+                else:
+                    world_prob *= 1.0 - p
+            if world_prob == 0.0:
+                continue
+            # BFS reachability test.
+            seen = set(source_list)
+            queue = deque(source_list)
+            reached = False
+            while queue and not reached:
+                u = queue.popleft()
+                for v in adjacency.get(u, ()):
+                    if v == target:
+                        reached = True
+                        break
+                    if v not in seen:
+                        seen.add(v)
+                        queue.append(v)
+            if reached:
+                total += world_prob
+    return min(1.0, total)

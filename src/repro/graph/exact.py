@@ -1,0 +1,264 @@
+"""Exact reliability computation for small graphs (test oracle).
+
+Two-terminal (and source-set-to-target) reliability is #P-complete
+(Valiant 1979; paper Section 2), so these routines are exponential by
+necessity.  They exist to provide *ground truth* for the test-suite and for
+validating the paper's bounds (Theorems 1, 4, 5) on graphs small enough to
+enumerate:
+
+* :func:`exact_reliability_bruteforce` enumerates all ``2^m`` worlds
+  (practical to ``m <= ~20``),
+* :func:`exact_reliability` uses recursive arc factoring with
+  reachability-aware early termination, which handles graphs a fair bit
+  larger in the typical case,
+* :func:`exact_outreach` computes the outreach probability
+  ``R_out(S, C)`` of Definition 1 exactly,
+* :func:`exact_reliability_search` answers Problem 1 exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import EmptySourceSetError, NodeNotFoundError
+from .uncertain import UncertainGraph
+
+__all__ = [
+    "exact_reliability_bruteforce",
+    "exact_reliability",
+    "exact_outreach",
+    "exact_reliability_search",
+    "exact_hop_reliability",
+]
+
+
+def _check_query(graph: UncertainGraph, sources: Sequence[int]) -> List[int]:
+    sources = list(dict.fromkeys(sources))
+    if not sources:
+        raise EmptySourceSetError()
+    for s in sources:
+        if s not in graph:
+            raise NodeNotFoundError(s)
+    return sources
+
+
+def _reaches(
+    adjacency: Dict[int, List[int]], sources: Iterable[int], targets: Set[int]
+) -> bool:
+    """BFS test: does any source reach any node in *targets*?"""
+    visited = set(sources)
+    if visited & targets:
+        return True
+    queue = deque(visited)
+    while queue:
+        u = queue.popleft()
+        for v in adjacency.get(u, ()):
+            if v not in visited:
+                if v in targets:
+                    return True
+                visited.add(v)
+                queue.append(v)
+    return False
+
+
+def exact_reliability_bruteforce(
+    graph: UncertainGraph, sources: Sequence[int], target: int
+) -> float:
+    """``R(S, t)`` by full possible-world enumeration (Eq. 2 verbatim).
+
+    Exponential in the number of arcs; raises :class:`ValueError` above
+    24 arcs to protect callers from accidental blow-ups.
+    """
+    sources = _check_query(graph, sources)
+    if target not in graph:
+        raise NodeNotFoundError(target)
+    if target in sources:
+        return 1.0
+    arcs = list(graph.arcs())
+    if len(arcs) > 24:
+        raise ValueError(
+            f"brute-force enumeration limited to 24 arcs, graph has {len(arcs)}"
+        )
+    total = 0.0
+    for mask in range(1 << len(arcs)):
+        world_prob = 1.0
+        adjacency: Dict[int, List[int]] = {}
+        for i, (u, v, p) in enumerate(arcs):
+            if mask >> i & 1:
+                world_prob *= p
+                adjacency.setdefault(u, []).append(v)
+            else:
+                world_prob *= 1.0 - p
+        if world_prob == 0.0:
+            continue
+        if _reaches(adjacency, sources, {target}):
+            total += world_prob
+    return min(1.0, total)
+
+
+def _factoring(
+    arcs: List[Tuple[int, int, float]],
+    present: Set[int],
+    sources: FrozenSet[int],
+    targets: FrozenSet[int],
+    index: int,
+) -> float:
+    """Recursive conditioning on arc existence.
+
+    ``present`` holds indices of arcs decided to exist.  At each step we
+    first test two short-circuits:
+
+    * if the sources already reach a target using only *decided-present*
+      arcs, the event occurs with probability 1 regardless of the
+      undecided arcs;
+    * if the sources cannot reach a target even when *all undecided*
+      arcs are assumed present, the probability is 0.
+
+    Otherwise we condition on the next undecided arc (factoring / pivotal
+    decomposition: ``R = p * R[a present] + (1-p) * R[a absent]``).
+    """
+    # Short-circuit 1: success already certain.
+    adjacency_present: Dict[int, List[int]] = {}
+    for i in present:
+        u, v, _ = arcs[i]
+        adjacency_present.setdefault(u, []).append(v)
+    if _reaches(adjacency_present, sources, set(targets)):
+        return 1.0
+    # Short-circuit 2: success impossible.
+    adjacency_optimistic: Dict[int, List[int]] = {}
+    for i in present:
+        u, v, _ = arcs[i]
+        adjacency_optimistic.setdefault(u, []).append(v)
+    for i in range(index, len(arcs)):
+        u, v, _ = arcs[i]
+        adjacency_optimistic.setdefault(u, []).append(v)
+    if not _reaches(adjacency_optimistic, sources, set(targets)):
+        return 0.0
+    # Condition on the next arc.
+    u, v, p = arcs[index]
+    present.add(index)
+    with_arc = _factoring(arcs, present, sources, targets, index + 1)
+    present.discard(index)
+    without_arc = _factoring(arcs, present, sources, targets, index + 1)
+    return p * with_arc + (1.0 - p) * without_arc
+
+
+def exact_reliability(
+    graph: UncertainGraph, sources: Sequence[int], target: int
+) -> float:
+    """``R(S, t)`` by recursive factoring with early termination.
+
+    Exact for any input, exponential in the worst case; intended for the
+    test oracle on graphs with up to a few dozen arcs.
+    """
+    sources = _check_query(graph, sources)
+    if target not in graph:
+        raise NodeNotFoundError(target)
+    if target in sources:
+        return 1.0
+    arcs = list(graph.arcs())
+    return _factoring(
+        arcs, set(), frozenset(sources), frozenset({target}), 0
+    )
+
+
+def exact_outreach(
+    graph: UncertainGraph, sources: Sequence[int], cluster: Iterable[int]
+) -> float:
+    """Outreach probability ``R_out(S, C)`` of Definition 1, exactly.
+
+    The probability that the source set reaches *at least one* node
+    outside *cluster*.  Computed by factoring with the complement of the
+    cluster as the target set.
+    """
+    sources = _check_query(graph, sources)
+    cluster_set = set(cluster)
+    for s in sources:
+        if s not in cluster_set:
+            raise ValueError(f"source {s} must lie inside the cluster")
+    outside = frozenset(set(graph.nodes()) - cluster_set)
+    if not outside:
+        return 0.0
+    arcs = list(graph.arcs())
+    return _factoring(arcs, set(), frozenset(sources), outside, 0)
+
+
+def exact_hop_reliability(
+    graph: UncertainGraph,
+    sources: Sequence[int],
+    target: int,
+    max_hops: int,
+) -> float:
+    """Distance-constrained reliability by full world enumeration.
+
+    The probability that *target* lies within *max_hops* arcs of the
+    source set (Jin et al. [20]'s query).  Exponential in the number of
+    arcs (limit 24); a test oracle for the engine's ``max_hops`` mode.
+    """
+    sources = _check_query(graph, sources)
+    if target not in graph:
+        raise NodeNotFoundError(target)
+    if target in sources:
+        return 1.0
+    if max_hops < 0:
+        raise ValueError(f"max_hops must be non-negative, got {max_hops}")
+    arcs = list(graph.arcs())
+    if len(arcs) > 24:
+        raise ValueError(
+            f"brute-force enumeration limited to 24 arcs, graph has {len(arcs)}"
+        )
+    total = 0.0
+    for mask in range(1 << len(arcs)):
+        world_prob = 1.0
+        adjacency: Dict[int, List[int]] = {}
+        for i, (u, v, p) in enumerate(arcs):
+            if mask >> i & 1:
+                world_prob *= p
+                adjacency.setdefault(u, []).append(v)
+            else:
+                world_prob *= 1.0 - p
+        if world_prob == 0.0:
+            continue
+        # Hop-bounded BFS inside the world.
+        frontier = set(sources)
+        seen = set(sources)
+        reached = False
+        for _ in range(max_hops):
+            next_frontier = set()
+            for u in frontier:
+                for v in adjacency.get(u, ()):
+                    if v == target:
+                        reached = True
+                        break
+                    if v not in seen:
+                        seen.add(v)
+                        next_frontier.add(v)
+                if reached:
+                    break
+            if reached or not next_frontier:
+                break
+            frontier = next_frontier
+        if reached:
+            total += world_prob
+    return min(1.0, total)
+
+
+def exact_reliability_search(
+    graph: UncertainGraph, sources: Sequence[int], eta: float
+) -> Set[int]:
+    """Exact answer to Problem 1: ``{t : R(S, t) >= eta}``.
+
+    Source nodes are trivially part of the answer (``R(S, s) = 1``),
+    matching Example 1 of the paper where the query node itself appears
+    in the result set.
+    """
+    sources = _check_query(graph, sources)
+    answer: Set[int] = set(sources)
+    for t in graph.nodes():
+        if t in answer:
+            continue
+        if exact_reliability(graph, sources, t) >= eta:
+            answer.add(t)
+    return answer

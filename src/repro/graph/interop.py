@@ -1,0 +1,98 @@
+"""Interoperability with networkx.
+
+Downstream users overwhelmingly hold graphs as ``networkx`` objects;
+these adapters convert to and from :class:`UncertainGraph` without
+making networkx a hard dependency (it is imported lazily and a clear
+error is raised when absent).
+
+Conventions:
+
+* arc probability is read from an edge attribute (default
+  ``"probability"``; a float fallback lets plain weighted graphs map
+  their ``"weight"`` attribute instead);
+* node labels of any hashable type are densified to ``0..n-1``; the
+  mapping is returned so results can be translated back;
+* undirected networkx graphs become bidirectional arc pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import GraphError
+from .uncertain import UncertainGraph
+
+__all__ = ["from_networkx", "to_networkx"]
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as error:  # pragma: no cover - env without networkx
+        raise GraphError(
+            "networkx is not installed; the interop adapters require it"
+        ) from error
+    return networkx
+
+
+def from_networkx(
+    nx_graph: Any,
+    probability_attribute: str = "probability",
+    default_probability: Optional[float] = None,
+) -> Tuple[UncertainGraph, Dict[Any, int]]:
+    """Convert a networkx (Di)Graph into an :class:`UncertainGraph`.
+
+    Parameters
+    ----------
+    nx_graph:
+        A ``networkx.Graph`` or ``networkx.DiGraph`` (multigraphs work
+        too — parallel edges noisy-or merge, matching this library's
+        semantics).
+    probability_attribute:
+        Edge attribute holding the existence probability.
+    default_probability:
+        Used for edges missing the attribute; ``None`` makes a missing
+        attribute an error.
+
+    Returns
+    -------
+    (graph, node_index):
+        The converted graph and the mapping from original node labels
+        to dense integer ids.
+    """
+    _require_networkx()
+    node_index: Dict[Any, int] = {
+        label: index for index, label in enumerate(nx_graph.nodes())
+    }
+    graph = UncertainGraph(len(node_index))
+    directed = nx_graph.is_directed()
+    for u_label, v_label, data in nx_graph.edges(data=True):
+        probability = data.get(probability_attribute, default_probability)
+        if probability is None:
+            raise GraphError(
+                f"edge ({u_label!r}, {v_label!r}) lacks the "
+                f"{probability_attribute!r} attribute and no default was given"
+            )
+        u = node_index[u_label]
+        v = node_index[v_label]
+        graph.add_arc(u, v, float(probability))
+        if not directed:
+            graph.add_arc(v, u, float(probability))
+    return graph, node_index
+
+
+def to_networkx(
+    graph: UncertainGraph,
+    probability_attribute: str = "probability",
+) -> Any:
+    """Convert an :class:`UncertainGraph` into a ``networkx.DiGraph``.
+
+    Every node id becomes a node (including isolated ones); each arc
+    carries its probability under *probability_attribute*.
+    """
+    networkx = _require_networkx()
+    nx_graph = networkx.DiGraph()
+    nx_graph.add_nodes_from(graph.nodes())
+    for u, v, p in graph.arcs():
+        nx_graph.add_edge(u, v, **{probability_attribute: p})
+    return nx_graph

@@ -1,0 +1,200 @@
+"""Possible-world sampling primitives.
+
+Possible-world semantics (paper, Section 2) interpret an uncertain graph as
+a distribution over deterministic subgraphs: world ``G`` keeps each arc
+``a`` independently with probability ``p(a)``.  This module provides
+
+* :class:`WorldSampler` — materialize full worlds (useful for tests and
+  for the exact/brute-force oracle),
+* :func:`sample_reachable` — the paper's *lazy* sampler: a BFS from the
+  source set that flips each out-arc's coin only when the BFS first
+  touches it.  For reachability queries this is distributionally
+  equivalent to materializing the full world (each arc's indicator is
+  read at most once per world) while only paying for the part of the
+  world the BFS actually visits.
+* :class:`ReachabilityFrequencyEstimator` — tallies per-node hit counts
+  across ``K`` worlds; both the MC-Sampling baseline and RQ-tree-MC
+  verification are thin wrappers over it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .uncertain import UncertainGraph
+
+__all__ = [
+    "WorldSampler",
+    "sample_reachable",
+    "ReachabilityFrequencyEstimator",
+]
+
+
+class WorldSampler:
+    """Samples complete possible worlds of an uncertain graph.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph to sample from.
+    seed:
+        Seed for the private :class:`random.Random` instance.  Two
+        samplers built with the same seed generate identical world
+        sequences, which the tests rely on.
+    """
+
+    def __init__(self, graph: UncertainGraph, seed: Optional[int] = None) -> None:
+        self._graph = graph
+        self._rng = random.Random(seed)
+
+    def sample_world(self) -> List[Tuple[int, int]]:
+        """Draw one world; returns the list of arcs that exist in it."""
+        rng_random = self._rng.random
+        return [
+            (u, v)
+            for u, v, p in self._graph.arcs()
+            if rng_random() < p
+        ]
+
+    def sample_world_adjacency(self) -> List[List[int]]:
+        """Draw one world as a successor-list adjacency structure."""
+        adjacency: List[List[int]] = [[] for _ in range(self._graph.num_nodes)]
+        rng_random = self._rng.random
+        for u, v, p in self._graph.arcs():
+            if rng_random() < p:
+                adjacency[u].append(v)
+        return adjacency
+
+    def worlds(self, count: int) -> Iterable[List[Tuple[int, int]]]:
+        """Generate *count* independent worlds."""
+        for _ in range(count):
+            yield self.sample_world()
+
+
+def sample_reachable(
+    graph: UncertainGraph,
+    sources: Iterable[int],
+    rng: random.Random,
+    allowed: Optional[Set[int]] = None,
+    max_hops: Optional[int] = None,
+) -> Set[int]:
+    """Nodes reachable from *sources* in one lazily-sampled world.
+
+    This implements the paper's "sampling ... performed online, i.e.,
+    combined with a BFS from the source set" (Section 7.1): each arc's
+    existence coin is flipped the first time the BFS considers it.
+    Within a single world a BFS considers each arc at most once, so the
+    lazy scheme draws from exactly the same distribution as materializing
+    the world up front.
+
+    Parameters
+    ----------
+    allowed:
+        Restricts the walk to a node set (the candidate-induced subgraph
+        during RQ-tree-MC verification, paper Section 5.2).
+    max_hops:
+        Optional hop budget: only nodes within *max_hops* arcs of the
+        sources (in the sampled world) are reported.  BFS visits nodes
+        in hop order, so the first visit realises the world's true hop
+        distance and the truncation is exact — this is the
+        distance-constrained reachability of Jin et al. [20].
+    """
+    visited: Set[int] = set()
+    frontier: deque = deque()
+    for s in sources:
+        if allowed is not None and s not in allowed:
+            continue
+        if s not in visited:
+            visited.add(s)
+            frontier.append(s)
+    rng_random = rng.random
+    depth = 0
+    while frontier:
+        if max_hops is not None and depth >= max_hops:
+            break
+        next_frontier: deque = deque()
+        for u in frontier:
+            for v, p in graph.successors(u).items():
+                if v in visited:
+                    continue
+                if allowed is not None and v not in allowed:
+                    continue
+                if rng_random() < p:
+                    visited.add(v)
+                    next_frontier.append(v)
+        frontier = next_frontier
+        depth += 1
+    return visited
+
+
+class ReachabilityFrequencyEstimator:
+    """Tallies how often each node is reached across sampled worlds.
+
+    The estimate ``count[t] / K`` is an unbiased estimator of
+    ``R(S, t)`` (paper, Eq. 2).  Thresholding the counts at ``eta * K``
+    answers a reliability-search query the way the MC-Sampling baseline
+    does.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        sources: Sequence[int],
+        seed: Optional[int] = None,
+        allowed: Optional[Set[int]] = None,
+        max_hops: Optional[int] = None,
+    ) -> None:
+        self._graph = graph
+        self._sources = list(sources)
+        self._allowed = allowed
+        self._max_hops = max_hops
+        self._rng = random.Random(seed)
+        self._counts: Dict[int, int] = {}
+        self._num_worlds = 0
+
+    @property
+    def num_worlds(self) -> int:
+        """Number of worlds sampled so far."""
+        return self._num_worlds
+
+    def run(self, num_worlds: int) -> "ReachabilityFrequencyEstimator":
+        """Sample *num_worlds* additional worlds, accumulating counts."""
+        counts = self._counts
+        for _ in range(num_worlds):
+            reached = sample_reachable(
+                self._graph,
+                self._sources,
+                self._rng,
+                self._allowed,
+                max_hops=self._max_hops,
+            )
+            for node in reached:
+                counts[node] = counts.get(node, 0) + 1
+        self._num_worlds += num_worlds
+        return self
+
+    def frequencies(self) -> Dict[int, float]:
+        """Per-node empirical reachability frequencies."""
+        if self._num_worlds == 0:
+            return {}
+        k = self._num_worlds
+        return {node: count / k for node, count in self._counts.items()}
+
+    def nodes_above(self, eta: float) -> Set[int]:
+        """Nodes reached in at least ``ceil(eta * K)`` worlds.
+
+        The paper counts a node as an answer when it is reachable "in a
+        fraction of graph instances >= eta * K"; we use the same
+        inclusive comparison on the raw counts to avoid floating-point
+        drift.
+        """
+        if self._num_worlds == 0:
+            return set()
+        threshold = eta * self._num_worlds
+        return {
+            node
+            for node, count in self._counts.items()
+            if count >= threshold
+        }

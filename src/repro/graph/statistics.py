@@ -1,0 +1,132 @@
+"""Descriptive statistics over uncertain graphs.
+
+Summaries used by the CLI ``stats`` command, the Figure 3 benchmark,
+and the dataset documentation: degree distributions, arc-probability
+histograms, expected-graph measures (expected number of arcs, expected
+degree), and a one-stop :func:`summarize` report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .uncertain import UncertainGraph
+
+__all__ = [
+    "GraphSummary",
+    "degree_histogram",
+    "probability_histogram",
+    "expected_num_arcs",
+    "expected_out_degree",
+    "summarize",
+]
+
+
+def degree_histogram(
+    graph: UncertainGraph, direction: str = "out"
+) -> Dict[int, int]:
+    """Histogram ``degree -> #nodes`` for out/in/total degree."""
+    if direction not in ("out", "in", "total"):
+        raise ValueError(
+            f"direction must be 'out', 'in' or 'total', got {direction!r}"
+        )
+    histogram: Dict[int, int] = {}
+    for u in graph.nodes():
+        if direction == "out":
+            d = graph.out_degree(u)
+        elif direction == "in":
+            d = graph.in_degree(u)
+        else:
+            d = graph.degree(u)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+def probability_histogram(
+    graph: UncertainGraph, num_bins: int = 10
+) -> List[Tuple[float, float, int]]:
+    """Arc-probability histogram as ``(lo, hi, count)`` bins over (0, 1]."""
+    if num_bins <= 0:
+        raise ValueError(f"num_bins must be positive, got {num_bins}")
+    counts = [0] * num_bins
+    for _, _, p in graph.arcs():
+        index = min(num_bins - 1, int(p * num_bins))
+        counts[index] += 1
+    width = 1.0 / num_bins
+    return [
+        (i * width, (i + 1) * width, counts[i]) for i in range(num_bins)
+    ]
+
+
+def expected_num_arcs(graph: UncertainGraph) -> float:
+    """Expected number of arcs of a sampled world: ``Σ p(a)``."""
+    return graph.total_probability_mass()
+
+
+def expected_out_degree(graph: UncertainGraph) -> float:
+    """Mean expected out-degree over all nodes."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return expected_num_arcs(graph) / graph.num_nodes
+
+
+@dataclass
+class GraphSummary:
+    """A compact statistical fingerprint of an uncertain graph."""
+
+    num_nodes: int
+    num_arcs: int
+    expected_arcs: float
+    mean_probability: float
+    median_probability: float
+    max_out_degree: int
+    isolated_nodes: int
+    reciprocity: float  # fraction of arcs whose reverse also exists
+
+    def as_rows(self) -> List[Tuple[str, object]]:
+        """Rows for :func:`repro.eval.reporting.format_table`."""
+        return [
+            ("nodes", self.num_nodes),
+            ("arcs", self.num_arcs),
+            ("expected world arcs", self.expected_arcs),
+            ("mean arc probability", self.mean_probability),
+            ("median arc probability", self.median_probability),
+            ("max out-degree", self.max_out_degree),
+            ("isolated nodes", self.isolated_nodes),
+            ("reciprocity", self.reciprocity),
+        ]
+
+
+def summarize(graph: UncertainGraph) -> GraphSummary:
+    """Compute the full :class:`GraphSummary` for *graph*."""
+    probabilities = sorted(p for _, _, p in graph.arcs())
+    m = len(probabilities)
+    if m:
+        mean_p = sum(probabilities) / m
+        median_p = (
+            probabilities[m // 2]
+            if m % 2
+            else (probabilities[m // 2 - 1] + probabilities[m // 2]) / 2.0
+        )
+    else:
+        mean_p = 0.0
+        median_p = 0.0
+    reciprocal = sum(
+        1 for u, v, _ in graph.arcs() if graph.has_arc(v, u)
+    )
+    return GraphSummary(
+        num_nodes=graph.num_nodes,
+        num_arcs=m,
+        expected_arcs=expected_num_arcs(graph),
+        mean_probability=mean_p,
+        median_probability=median_p,
+        max_out_degree=max(
+            (graph.out_degree(u) for u in graph.nodes()), default=0
+        ),
+        isolated_nodes=sum(
+            1 for u in graph.nodes() if graph.degree(u) == 0
+        ),
+        reciprocity=reciprocal / m if m else 0.0,
+    )

@@ -1,0 +1,259 @@
+"""Deterministic traversals over uncertain graphs.
+
+These routines ignore arc probabilities and treat the graph as a plain
+directed graph: they answer the question "which nodes are reachable in the
+deterministic graph that contains *all* arcs of G".  They are used by
+
+* the candidate-generation periphery computation (paper, Observation 3),
+* diameter estimation for the RHT baseline and workload generation,
+* sanity/invariant checks in the test-suite.
+
+Probability-aware reachability lives in :mod:`repro.graph.sampling` (one
+possible world at a time) and :mod:`repro.reliability` (estimators).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .uncertain import UncertainGraph
+
+__all__ = [
+    "bfs_reachable",
+    "bfs_layers",
+    "bfs_distances",
+    "reachable_within",
+    "weakly_connected_components",
+    "strongly_connected_components",
+    "estimate_diameter",
+    "induced_ball",
+]
+
+
+def bfs_reachable(
+    graph: UncertainGraph,
+    sources: Iterable[int],
+    allowed: Optional[Set[int]] = None,
+) -> Set[int]:
+    """All nodes reachable from *sources* following directed arcs.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph (probabilities ignored).
+    sources:
+        Seed nodes; they are always included in the result.
+    allowed:
+        If given, the traversal never leaves this node set (used to
+        restrict reachability to a candidate-induced subgraph).
+    """
+    visited: Set[int] = set()
+    queue: deque = deque()
+    for s in sources:
+        if allowed is not None and s not in allowed:
+            continue
+        if s not in visited:
+            visited.add(s)
+            queue.append(s)
+    while queue:
+        u = queue.popleft()
+        for v in graph.successors(u):
+            if v in visited:
+                continue
+            if allowed is not None and v not in allowed:
+                continue
+            visited.add(v)
+            queue.append(v)
+    return visited
+
+
+def bfs_layers(
+    graph: UncertainGraph, sources: Iterable[int]
+) -> List[List[int]]:
+    """Breadth-first layers ``[L0, L1, ...]`` from the source set.
+
+    ``L0`` is the (deduplicated) source list; ``Lk`` contains nodes at
+    directed hop-distance exactly *k*.
+    """
+    seen: Set[int] = set()
+    frontier: List[int] = []
+    for s in sources:
+        if s not in seen:
+            seen.add(s)
+            frontier.append(s)
+    layers: List[List[int]] = []
+    while frontier:
+        layers.append(frontier)
+        next_frontier: List[int] = []
+        for u in frontier:
+            for v in graph.successors(u):
+                if v not in seen:
+                    seen.add(v)
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return layers
+
+
+def bfs_distances(
+    graph: UncertainGraph, sources: Iterable[int]
+) -> Dict[int, int]:
+    """Hop distances from the source set to every reachable node."""
+    distances: Dict[int, int] = {}
+    for depth, layer in enumerate(bfs_layers(graph, sources)):
+        for node in layer:
+            distances[node] = depth
+    return distances
+
+
+def reachable_within(
+    graph: UncertainGraph, sources: Iterable[int], max_hops: int
+) -> Set[int]:
+    """Nodes reachable from *sources* using at most *max_hops* arcs."""
+    reached: Set[int] = set()
+    for depth, layer in enumerate(bfs_layers(graph, sources)):
+        if depth > max_hops:
+            break
+        reached.update(layer)
+    return reached
+
+
+def weakly_connected_components(graph: UncertainGraph) -> List[Set[int]]:
+    """Connected components of the undirected view of the graph."""
+    unseen = set(graph.nodes())
+    components: List[Set[int]] = []
+    while unseen:
+        root = next(iter(unseen))
+        component: Set[int] = {root}
+        queue = deque([root])
+        unseen.discard(root)
+        while queue:
+            u = queue.popleft()
+            for v in graph.successors(u):
+                if v in unseen:
+                    unseen.discard(v)
+                    component.add(v)
+                    queue.append(v)
+            for v in graph.predecessors(u):
+                if v in unseen:
+                    unseen.discard(v)
+                    component.add(v)
+                    queue.append(v)
+        components.append(component)
+    return components
+
+
+def strongly_connected_components(graph: UncertainGraph) -> List[Set[int]]:
+    """Strongly connected components (iterative Tarjan).
+
+    Implemented without recursion so that deep path graphs do not hit the
+    interpreter recursion limit.
+    """
+    n = graph.num_nodes
+    index_of = [-1] * n
+    lowlink = [0] * n
+    on_stack = [False] * n
+    stack: List[int] = []
+    components: List[Set[int]] = []
+    counter = 0
+
+    for root in range(n):
+        if index_of[root] != -1:
+            continue
+        # Each frame is (node, iterator over successors).
+        work: List[Tuple[int, Iterable[int]]] = [(root, iter(graph.successors(root)))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            u, it = work[-1]
+            advanced = False
+            for v in it:
+                if index_of[v] == -1:
+                    index_of[v] = lowlink[v] = counter
+                    counter += 1
+                    stack.append(v)
+                    on_stack[v] = True
+                    work.append((v, iter(graph.successors(v))))
+                    advanced = True
+                    break
+                if on_stack[v]:
+                    lowlink[u] = min(lowlink[u], index_of[v])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[u])
+            if lowlink[u] == index_of[u]:
+                component: Set[int] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.add(w)
+                    if w == u:
+                        break
+                components.append(component)
+    return components
+
+
+def estimate_diameter(
+    graph: UncertainGraph,
+    num_probes: int = 16,
+    rng: Optional["random.Random"] = None,
+) -> int:
+    """Estimate the directed diameter by double-sweep BFS probing.
+
+    Runs BFS from *num_probes* random start nodes and from the farthest
+    node discovered by each probe, returning the largest finite
+    eccentricity observed.  This is the standard cheap lower-bound
+    estimator; the RHT baseline (paper, Section 7.1) only needs a
+    representative hop bound, not the exact diameter.
+    """
+    import random as _random
+
+    if graph.num_nodes == 0:
+        return 0
+    rng = rng or _random.Random(0)
+    best = 0
+    nodes = list(graph.nodes())
+    for _ in range(num_probes):
+        start = rng.choice(nodes)
+        layers = bfs_layers(graph, [start])
+        if len(layers) - 1 > best:
+            best = len(layers) - 1
+        if layers and layers[-1]:
+            far = layers[-1][0]
+            layers2 = bfs_layers(graph, [far])
+            if len(layers2) - 1 > best:
+                best = len(layers2) - 1
+    return best
+
+
+def induced_ball(
+    graph: UncertainGraph, center: int, radius: int
+) -> Set[int]:
+    """Nodes within *radius* hops of *center*, ignoring arc direction.
+
+    Used by the multi-source workload generator (paper, Section 7.1):
+    query nodes are drawn from a subgraph of bounded diameter, which we
+    realise as an undirected ball of radius ``d // 2 + 1``.
+    """
+    ball = {center}
+    frontier = [center]
+    for _ in range(radius):
+        next_frontier: List[int] = []
+        for u in frontier:
+            for v in graph.successors(u):
+                if v not in ball:
+                    ball.add(v)
+                    next_frontier.append(v)
+            for v in graph.predecessors(u):
+                if v not in ball:
+                    ball.add(v)
+                    next_frontier.append(v)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return ball

@@ -1,0 +1,153 @@
+"""Reverse-influence sampling (RIS) for influence maximization.
+
+An extension beyond the paper: the paper's Section 7.7 accelerates the
+2003-era Greedy+MC pipeline with the RQ-tree; the modern alternative
+(Borgs et al. 2014, "Maximizing social influence in nearly optimal
+time") replaces forward spread estimation entirely with **reverse
+reachable (RR) sets**:
+
+1. pick a uniformly random node ``v`` and a random possible world;
+2. record the set of nodes that reach ``v`` in that world (one reverse
+   lazy BFS — the same possible-world machinery the rest of this
+   library uses, run on the reversed graph);
+3. repeat ``theta`` times; then a seed set covering a ``c`` fraction of
+   the RR sets has expected spread ``≈ c * n``.
+
+Greedy maximum coverage over the RR sets then yields a
+``(1 - 1/e - ε)`` approximation with high probability.  Including RIS
+lets the benchmarks situate the paper's approach against the method
+that superseded MC-Greedy, and gives the library a production-grade IM
+algorithm.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..graph.uncertain import UncertainGraph
+
+__all__ = ["RRSketch", "build_rr_sketch", "ris_influence_maximization"]
+
+
+def _reverse_reachable_set(
+    graph: UncertainGraph, target: int, rng: random.Random
+) -> Set[int]:
+    """Nodes that reach *target* in one lazily-sampled world.
+
+    A lazy BFS over *incoming* arcs: arc ``(u, v)`` is flipped when the
+    walk first reaches ``v``, exactly mirroring the forward sampler
+    (each arc considered at most once per world, so the distribution is
+    the possible-world one).
+    """
+    visited = {target}
+    queue: deque = deque([target])
+    rng_random = rng.random
+    while queue:
+        v = queue.popleft()
+        for u, p in graph.predecessors(v).items():
+            if u not in visited and rng_random() < p:
+                visited.add(u)
+                queue.append(u)
+    return visited
+
+
+@dataclass
+class RRSketch:
+    """A collection of reverse-reachable sets over an uncertain graph.
+
+    ``spread_estimate(S) = n * (#RR sets hit by S) / #RR sets`` is an
+    unbiased estimator of the expected spread ``σ(S)`` (each RR set is
+    an unbiased membership test of "does S influence a random node in a
+    random world").
+    """
+
+    num_nodes: int
+    rr_sets: List[FrozenSet[int]] = field(default_factory=list)
+    #: inverted index: node -> indices of RR sets containing it
+    membership: Dict[int, List[int]] = field(default_factory=dict)
+
+    def add(self, rr_set: Set[int]) -> None:
+        """Append one RR set and index its members."""
+        index = len(self.rr_sets)
+        self.rr_sets.append(frozenset(rr_set))
+        for node in rr_set:
+            self.membership.setdefault(node, []).append(index)
+
+    @property
+    def size(self) -> int:
+        """Number of RR sets in the sketch."""
+        return len(self.rr_sets)
+
+    def spread_estimate(self, seeds: Sequence[int]) -> float:
+        """Unbiased estimate of the expected spread of *seeds*."""
+        if not self.rr_sets:
+            return 0.0
+        covered: Set[int] = set()
+        for seed in seeds:
+            covered.update(self.membership.get(seed, ()))
+        return self.num_nodes * len(covered) / len(self.rr_sets)
+
+
+def build_rr_sketch(
+    graph: UncertainGraph,
+    num_sets: int,
+    seed: Optional[int] = None,
+) -> RRSketch:
+    """Sample *num_sets* reverse-reachable sets."""
+    if num_sets <= 0:
+        raise ValueError(f"num_sets must be positive, got {num_sets}")
+    if graph.num_nodes == 0:
+        raise ValueError("cannot sketch an empty graph")
+    rng = random.Random(seed)
+    sketch = RRSketch(num_nodes=graph.num_nodes)
+    for _ in range(num_sets):
+        target = rng.randrange(graph.num_nodes)
+        sketch.add(_reverse_reachable_set(graph, target, rng))
+    return sketch
+
+
+def ris_influence_maximization(
+    graph: UncertainGraph,
+    k: int,
+    num_sets: int = 10000,
+    seed: Optional[int] = None,
+    sketch: Optional[RRSketch] = None,
+) -> Tuple[List[int], float]:
+    """Select *k* seeds by greedy maximum coverage over RR sets.
+
+    Returns ``(seeds, estimated_spread)``.  Pass a prebuilt *sketch* to
+    amortize sampling across calls (e.g. different ``k``).
+
+    The greedy cover uses lazy bucket updates: each chosen seed marks
+    its RR sets as covered, and other nodes' counts are corrected on
+    demand — ``O(Σ |RR|)`` total, the standard implementation.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if sketch is None:
+        sketch = build_rr_sketch(graph, num_sets, seed=seed)
+    covered = [False] * sketch.size
+    # Live coverage counts per node (degree in the node/RR-set bipartite
+    # incidence, decremented as sets get covered).
+    counts: Dict[int, int] = {
+        node: len(indices) for node, indices in sketch.membership.items()
+    }
+    seeds: List[int] = []
+    for _ in range(min(k, graph.num_nodes)):
+        if not counts:
+            break
+        best = max(counts, key=lambda node: (counts[node], -node))
+        if counts[best] == 0:
+            break
+        seeds.append(best)
+        for index in sketch.membership.get(best, ()):
+            if not covered[index]:
+                covered[index] = True
+                for member in sketch.rr_sets[index]:
+                    if member in counts:
+                        counts[member] -= 1
+        del counts[best]
+    return seeds, sketch.spread_estimate(seeds)

@@ -1,0 +1,32 @@
+"""Balanced graph partitioning (multilevel METIS-substitute)."""
+
+from .wgraph import WeightedUndirectedGraph
+from .coarsen import heavy_edge_matching, contract, coarsen_once
+from .initial import (
+    greedy_growing_bisection,
+    spectral_bisection,
+    initial_bisection,
+)
+from .refine import fm_refine, fm_pass
+from .bipartition import (
+    multilevel_bisection,
+    bisect_uncertain_cluster,
+    ratio_cut_objective,
+    random_bisection,
+)
+
+__all__ = [
+    "WeightedUndirectedGraph",
+    "heavy_edge_matching",
+    "contract",
+    "coarsen_once",
+    "greedy_growing_bisection",
+    "spectral_bisection",
+    "initial_bisection",
+    "fm_refine",
+    "fm_pass",
+    "multilevel_bisection",
+    "bisect_uncertain_cluster",
+    "ratio_cut_objective",
+    "random_bisection",
+]

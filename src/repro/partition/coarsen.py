@@ -1,0 +1,97 @@
+"""Heavy-edge-matching coarsening (multilevel phase 1).
+
+Following METIS [22], the graph is repeatedly shrunk by computing a
+*heavy-edge matching* — visiting nodes in random order and matching each
+unmatched node with the unmatched neighbour joined by the heaviest edge —
+and collapsing matched pairs.  Heavy edges disappear inside coarse nodes,
+so the cut weight of any coarse bipartition (and hence the refined final
+cut) tends to be small, which is exactly the objective of the RQ-tree's
+Problem 3 (minimize the boundary ``-log(1-p)`` mass).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from .wgraph import WeightedUndirectedGraph
+
+__all__ = ["heavy_edge_matching", "contract", "coarsen_once"]
+
+
+def heavy_edge_matching(
+    graph: WeightedUndirectedGraph, rng: random.Random
+) -> List[int]:
+    """Compute a heavy-edge matching.
+
+    Returns ``mate`` where ``mate[u]`` is the node matched with *u*
+    (``mate[u] == u`` for unmatched nodes).  Nodes are visited in random
+    order; each picks its heaviest still-unmatched neighbour.
+    """
+    n = graph.num_nodes
+    mate = list(range(n))
+    order = list(range(n))
+    rng.shuffle(order)
+    for u in order:
+        if mate[u] != u:
+            continue
+        best_v = -1
+        best_w = -1.0
+        for v, w in graph.adjacency[u].items():
+            if mate[v] == v and v != u and w > best_w:
+                best_v = v
+                best_w = w
+        if best_v >= 0:
+            mate[u] = best_v
+            mate[best_v] = u
+    return mate
+
+
+def contract(
+    graph: WeightedUndirectedGraph, mate: List[int]
+) -> Tuple[WeightedUndirectedGraph, List[int]]:
+    """Collapse matched pairs into coarse nodes.
+
+    Returns the coarse graph and the projection ``coarse_of`` mapping
+    each fine node to its coarse node id.  Edge weights between coarse
+    nodes accumulate; edges internal to a pair vanish; node weights add.
+    """
+    n = graph.num_nodes
+    coarse_of = [-1] * n
+    next_id = 0
+    for u in range(n):
+        if coarse_of[u] != -1:
+            continue
+        v = mate[u]
+        coarse_of[u] = next_id
+        if v != u:
+            coarse_of[v] = next_id
+        next_id += 1
+    node_weights = [0] * next_id
+    for u in range(n):
+        node_weights[coarse_of[u]] += graph.node_weight[u]
+    coarse = WeightedUndirectedGraph(next_id, node_weights)
+    for u in range(n):
+        cu = coarse_of[u]
+        for v, w in graph.adjacency[u].items():
+            if u < v:  # visit each undirected edge once
+                cv = coarse_of[v]
+                if cu != cv:
+                    coarse.add_edge(cu, cv, w)
+    return coarse, coarse_of
+
+
+def coarsen_once(
+    graph: WeightedUndirectedGraph, rng: random.Random
+) -> Optional[Tuple[WeightedUndirectedGraph, List[int]]]:
+    """One coarsening step; None when matching no longer shrinks the graph.
+
+    A step is considered unproductive when it removes less than 10% of
+    the nodes (e.g. a graph with no edges matches nothing), which is the
+    multilevel driver's signal to stop coarsening.
+    """
+    mate = heavy_edge_matching(graph, rng)
+    matched_pairs = sum(1 for u in range(graph.num_nodes) if mate[u] > u)
+    if matched_pairs < max(1, graph.num_nodes // 10):
+        return None
+    return contract(graph, mate)

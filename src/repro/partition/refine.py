@@ -1,0 +1,145 @@
+"""Fiduccia–Mattheyses boundary refinement (multilevel phase 3).
+
+After projecting a coarse bipartition back to a finer level, FM passes
+move individual nodes between the two sides to reduce the cut weight
+while keeping both sides within the balance constraint.  Each pass:
+
+1. computes the *gain* (cut-weight reduction) of moving every node,
+2. repeatedly moves the best-gain movable node (each node moves at most
+   once per pass — the lock rule that lets FM escape local minima by
+   accepting temporarily negative gains),
+3. rolls back to the best prefix of moves seen during the pass.
+
+Passes repeat until one fails to improve the cut.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+from .wgraph import WeightedUndirectedGraph
+
+__all__ = ["fm_refine", "fm_pass"]
+
+
+def _gains(graph: WeightedUndirectedGraph, side: List[bool]) -> List[float]:
+    """Gain of flipping each node: external minus internal edge weight."""
+    gains = [0.0] * graph.num_nodes
+    for u in range(graph.num_nodes):
+        internal = 0.0
+        external = 0.0
+        for v, w in graph.adjacency[u].items():
+            if side[v] == side[u]:
+                internal += w
+            else:
+                external += w
+        gains[u] = external - internal
+    return gains
+
+
+def _move_feasible(
+    node_weight: int,
+    on_true_side: bool,
+    weight_true: float,
+    lo: float,
+    hi: float,
+) -> bool:
+    """Whether flipping the node keeps both sides in the balance window."""
+    new_weight_true = (
+        weight_true - node_weight if on_true_side else weight_true + node_weight
+    )
+    return lo <= new_weight_true <= hi
+
+
+def fm_pass(
+    graph: WeightedUndirectedGraph,
+    side: List[bool],
+    max_imbalance: float,
+) -> float:
+    """One FM pass; mutates *side* in place, returns the cut improvement.
+
+    The balance constraint keeps each part's node weight within
+    ``[0.5 - max_imbalance, 0.5 + max_imbalance]`` of the total.  The
+    heap may hold stale gain entries; entries are validated against the
+    live ``gains`` array on pop (lazy deletion).  Infeasible nodes are
+    simply skipped on pop — their entry is re-pushed the next time a
+    neighbour's move changes their gain, and a final sweep re-examines
+    skipped nodes once, so a node blocked early can still move after the
+    balance shifts.
+    """
+    n = graph.num_nodes
+    total = graph.total_node_weight()
+    lo = total * (0.5 - max_imbalance)
+    hi = total * (0.5 + max_imbalance)
+    weight_true = sum(graph.node_weight[u] for u in range(n) if side[u])
+
+    gains = _gains(graph, side)
+    heap: List[Tuple[float, int]] = [(-gains[u], u) for u in range(n)]
+    heapq.heapify(heap)
+    locked = [False] * n
+
+    cumulative = 0.0
+    best_cumulative = 0.0
+    best_prefix = 0
+    moves: List[int] = []
+    rounds_left = 2  # the heap is rebuilt once to revisit skipped nodes
+
+    while True:
+        moved_this_round = False
+        while heap:
+            neg_gain, u = heapq.heappop(heap)
+            if locked[u]:
+                continue
+            if gains[u] != -neg_gain:
+                continue  # stale entry; the fresh one is elsewhere in the heap
+            if not _move_feasible(
+                graph.node_weight[u], side[u], weight_true, lo, hi
+            ):
+                continue  # revisited in the next round if balance shifts
+            # Execute the move.
+            weight_true += (
+                -graph.node_weight[u] if side[u] else graph.node_weight[u]
+            )
+            side[u] = not side[u]
+            locked[u] = True
+            cumulative += gains[u]
+            moves.append(u)
+            moved_this_round = True
+            if cumulative > best_cumulative + 1e-15:
+                best_cumulative = cumulative
+                best_prefix = len(moves)
+            # Update neighbour gains (u changed sides, so each incident
+            # edge flipped between internal and external).
+            for v, w in graph.adjacency[u].items():
+                if locked[v]:
+                    continue
+                if side[v] == side[u]:
+                    gains[v] -= 2.0 * w
+                else:
+                    gains[v] += 2.0 * w
+                heapq.heappush(heap, (-gains[v], v))
+        rounds_left -= 1
+        if rounds_left <= 0 or not moved_this_round:
+            break
+        heap = [(-gains[u], u) for u in range(n) if not locked[u]]
+        heapq.heapify(heap)
+
+    # Roll back moves after the best prefix.
+    for u in moves[best_prefix:]:
+        side[u] = not side[u]
+    return best_cumulative
+
+
+def fm_refine(
+    graph: WeightedUndirectedGraph,
+    side: List[bool],
+    max_imbalance: float,
+    max_passes: int = 8,
+) -> List[bool]:
+    """Run FM passes until no pass improves the cut; returns *side*."""
+    for _ in range(max_passes):
+        improvement = fm_pass(graph, side, max_imbalance)
+        if improvement <= 1e-12:
+            break
+    return side

@@ -1,0 +1,80 @@
+"""Weighted undirected graph used internally by the partitioner.
+
+The RQ-tree builder (paper, Theorem 6) reduces cluster bisection to
+MIN-RATIO-CUT on an *undirected* graph with arc weights
+``w(a) = -log(1 - p(a))``.  This module holds the small dedicated graph
+structure the multilevel partitioner operates on: dense integer ids,
+float edge weights, and integer node weights (a coarse node's weight is
+the number of original nodes collapsed into it, which the balance
+constraint and the ratio-cut denominators are measured in).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import PartitionError
+
+__all__ = ["WeightedUndirectedGraph"]
+
+
+class WeightedUndirectedGraph:
+    """Undirected graph with float edge weights and int node weights."""
+
+    __slots__ = ("adjacency", "node_weight")
+
+    def __init__(self, num_nodes: int, node_weights: Sequence[int] = ()) -> None:
+        if num_nodes < 0:
+            raise PartitionError(f"bad node count {num_nodes}")
+        self.adjacency: List[Dict[int, float]] = [dict() for _ in range(num_nodes)]
+        if node_weights:
+            if len(node_weights) != num_nodes:
+                raise PartitionError("node_weights length mismatch")
+            self.node_weight: List[int] = list(node_weights)
+        else:
+            self.node_weight = [1] * num_nodes
+
+    @classmethod
+    def from_edge_weights(
+        cls,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int, float]],
+        node_weights: Sequence[int] = (),
+    ) -> "WeightedUndirectedGraph":
+        """Build from ``(u, v, w)`` triples; parallel edges accumulate."""
+        graph = cls(num_nodes, node_weights)
+        for u, v, w in edges:
+            graph.add_edge(u, v, w)
+        return graph
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.adjacency)
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Add (or accumulate onto) the undirected edge ``{u, v}``."""
+        if u == v:
+            return
+        if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+            raise PartitionError(f"edge ({u}, {v}) references missing nodes")
+        if weight < 0:
+            raise PartitionError(f"edge weight must be non-negative: {weight}")
+        self.adjacency[u][v] = self.adjacency[u].get(v, 0.0) + weight
+        self.adjacency[v][u] = self.adjacency[v].get(u, 0.0) + weight
+
+    def total_node_weight(self) -> int:
+        return sum(self.node_weight)
+
+    def degree_weight(self, u: int) -> float:
+        """Sum of incident edge weights of *u*."""
+        return sum(self.adjacency[u].values())
+
+    def cut_weight(self, side: Sequence[bool]) -> float:
+        """Total weight of edges crossing the bipartition *side*."""
+        total = 0.0
+        for u, nbrs in enumerate(self.adjacency):
+            if side[u]:
+                for v, w in nbrs.items():
+                    if not side[v]:
+                        total += w
+        return total

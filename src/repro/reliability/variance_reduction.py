@@ -1,0 +1,167 @@
+"""Variance-reduced Monte-Carlo reliability estimators.
+
+The paper's MC baseline cites Fishman's comparison of Monte-Carlo
+methods for s-t connectedness [13]; plain (crude) sampling is only the
+first of those.  This module implements two classic variance-reduction
+schemes for two-terminal reliability, keeping the library's coverage of
+the sampling design space honest:
+
+* **antithetic sampling** — worlds are drawn in coin-flipped pairs
+  (``U`` and ``1 − U`` per arc).  The pair's indicator outcomes are
+  negatively correlated whenever the reachability indicator is monotone
+  in the arc states (it is: adding arcs can only help), so the paired
+  estimator's variance never exceeds crude MC at equal cost and usually
+  beats it;
+* **stratified sampling** — condition exhaustively on the joint state
+  of the ``k`` *most influential* arcs (largest ``p(1−p)``, the
+  per-arc Bernoulli variance): within each of the ``2^k`` strata the
+  remaining arcs are sampled crudely, and stratum estimates recombine
+  by total probability.  Exact stratum weights remove all variance
+  contributed by the conditioned arcs.
+
+Both estimators are unbiased; the test-suite checks them against the
+exponential oracle and verifies the variance ordering empirically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import EmptySourceSetError, NodeNotFoundError
+from ..graph.uncertain import UncertainGraph
+
+__all__ = [
+    "antithetic_reliability",
+    "stratified_reliability",
+]
+
+
+def _check(graph: UncertainGraph, sources: Sequence[int], target: int):
+    source_list = list(dict.fromkeys(sources))
+    if not source_list:
+        raise EmptySourceSetError()
+    for s in source_list:
+        if s not in graph:
+            raise NodeNotFoundError(s)
+    if target not in graph:
+        raise NodeNotFoundError(target)
+    return source_list
+
+
+def _reaches(
+    arcs: List[Tuple[int, int, float]],
+    states: Sequence[bool],
+    sources: Sequence[int],
+    target: int,
+) -> bool:
+    """Does the world selected by *states* connect sources to target?"""
+    adjacency: Dict[int, List[int]] = {}
+    for (u, v, _), present in zip(arcs, states):
+        if present:
+            adjacency.setdefault(u, []).append(v)
+    seen = set(sources)
+    if target in seen:
+        return True
+    queue = deque(sources)
+    while queue:
+        u = queue.popleft()
+        for v in adjacency.get(u, ()):
+            if v == target:
+                return True
+            if v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return False
+
+
+def antithetic_reliability(
+    graph: UncertainGraph,
+    sources: Sequence[int],
+    target: int,
+    num_pairs: int = 500,
+    seed: Optional[int] = None,
+) -> float:
+    """Antithetic-pairs estimate of ``R(S, t)``.
+
+    Each iteration draws one uniform vector ``U`` over the arcs and
+    evaluates the reachability indicator at both ``U`` and its
+    reflection ``1 − U`` (arc ``a`` present iff the coordinate is below
+    ``p(a)``).  Total worlds evaluated: ``2 * num_pairs``, the same
+    budget as crude MC with ``2 num_pairs`` samples.
+    """
+    source_list = _check(graph, sources, target)
+    if target in source_list:
+        return 1.0
+    if num_pairs <= 0:
+        raise ValueError(f"num_pairs must be positive, got {num_pairs}")
+    rng = random.Random(seed)
+    arcs = list(graph.arcs())
+    total = 0
+    for _ in range(num_pairs):
+        uniforms = [rng.random() for _ in arcs]
+        forward = [u < p for u, (_, _, p) in zip(uniforms, arcs)]
+        mirrored = [1.0 - u < p for u, (_, _, p) in zip(uniforms, arcs)]
+        total += _reaches(arcs, forward, source_list, target)
+        total += _reaches(arcs, mirrored, source_list, target)
+    return total / (2 * num_pairs)
+
+
+def stratified_reliability(
+    graph: UncertainGraph,
+    sources: Sequence[int],
+    target: int,
+    num_samples: int = 1000,
+    num_strata_arcs: int = 4,
+    seed: Optional[int] = None,
+) -> float:
+    """Stratified estimate of ``R(S, t)``.
+
+    The ``num_strata_arcs`` arcs with the largest Bernoulli variance
+    ``p(1−p)`` are conditioned exhaustively (``2^k`` strata, weights
+    computed exactly); the per-stratum conditional reliability is
+    estimated by crude MC with a sample budget proportional to the
+    stratum weight (at least one sample per stratum).
+    """
+    source_list = _check(graph, sources, target)
+    if target in source_list:
+        return 1.0
+    if num_samples <= 0:
+        raise ValueError(f"num_samples must be positive, got {num_samples}")
+    if num_strata_arcs < 0:
+        raise ValueError(
+            f"num_strata_arcs must be non-negative, got {num_strata_arcs}"
+        )
+    rng = random.Random(seed)
+    arcs = list(graph.arcs())
+    if not arcs:
+        return 0.0
+    k = min(num_strata_arcs, len(arcs), 10)
+    # Choose the k highest-variance arcs as the stratification basis.
+    order = sorted(
+        range(len(arcs)), key=lambda i: -(arcs[i][2] * (1.0 - arcs[i][2]))
+    )
+    strata_indices = sorted(order[:k])
+    free_indices = [i for i in range(len(arcs)) if i not in strata_indices]
+
+    estimate = 0.0
+    for pattern in itertools.product((False, True), repeat=k):
+        weight = 1.0
+        for bit, index in zip(pattern, strata_indices):
+            p = arcs[index][2]
+            weight *= p if bit else (1.0 - p)
+        if weight == 0.0:
+            continue
+        budget = max(1, round(num_samples * weight))
+        hits = 0
+        states = [False] * len(arcs)
+        for bit, index in zip(pattern, strata_indices):
+            states[index] = bit
+        for _ in range(budget):
+            for index in free_indices:
+                states[index] = rng.random() < arcs[index][2]
+            hits += _reaches(arcs, states, source_list, target)
+        estimate += weight * (hits / budget)
+    return min(1.0, estimate)

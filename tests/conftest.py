@@ -1,0 +1,61 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RQTreeEngine, UncertainGraph
+from repro.graph.generators import (
+    figure1_graph,
+    nethept_like,
+    uncertain_gnp,
+    uncertain_grid,
+    uncertain_path,
+)
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    """The paper's Figure 1 run-through example: (graph, name->id map)."""
+    return figure1_graph()
+
+
+@pytest.fixture(scope="session")
+def fig1_graph(fig1):
+    return fig1[0]
+
+
+@pytest.fixture(scope="session")
+def fig1_names(fig1):
+    return fig1[1]
+
+
+@pytest.fixture(scope="session")
+def small_graphs():
+    """A zoo of small graphs (<= ~14 arcs) amenable to the exact oracle."""
+    zoo = [
+        figure1_graph()[0],
+        uncertain_path([0.9, 0.8, 0.7]),
+        uncertain_gnp(6, 0.3, seed=1),
+        uncertain_gnp(7, 0.25, seed=2),
+        uncertain_gnp(5, 0.5, (0.3, 0.95), seed=3),
+    ]
+    return [g for g in zoo if g.num_arcs <= 16]
+
+
+@pytest.fixture(scope="session")
+def grid_graph():
+    """A 6x6 bidirectional grid with p = 0.5 (nice partition structure)."""
+    return uncertain_grid(6, 6, 0.5)
+
+
+@pytest.fixture(scope="session")
+def medium_graph():
+    """A 300-node NetHEPT-like graph for integration-level tests."""
+    return nethept_like(n=300, seed=42)
+
+
+@pytest.fixture(scope="session")
+def medium_engine(medium_graph):
+    """An RQ-tree engine over the medium graph (built once per session)."""
+    return RQTreeEngine.build(medium_graph, seed=7)

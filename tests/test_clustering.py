@@ -1,0 +1,139 @@
+"""Tests for reliable k-center clustering and evidence conditioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RQTreeEngine, UncertainGraph
+from repro.apps.clustering import (
+    ReliableClustering,
+    clustering_coverage,
+    reliable_kcenter,
+)
+from repro.errors import GraphError
+from repro.graph.exact import exact_reliability
+from repro.graph.generators import figure1_graph, nethept_like, uncertain_path
+from repro.graph.transforms import condition_graph
+
+
+def _two_communities() -> UncertainGraph:
+    """Two strong 4-cliques joined by one weak arc."""
+    g = UncertainGraph(8)
+    for base in (0, 4):
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    g.add_arc(base + i, base + j, 0.9)
+    g.add_arc(3, 4, 0.05)
+    return g
+
+
+class TestReliableKCenter:
+    def test_two_communities_need_two_centers(self):
+        graph = _two_communities()
+        engine = RQTreeEngine.build(graph, seed=0)
+        clustering = reliable_kcenter(engine, k=2, eta=0.6)
+        assert len(clustering.centers) == 2
+        # One center per community.
+        sides = {c // 4 for c in clustering.centers}
+        assert sides == {0, 1}
+        assert clustering_coverage(clustering, graph.num_nodes) == 1.0
+
+    def test_members_reliably_reachable_from_center(self):
+        graph = _two_communities()
+        engine = RQTreeEngine.build(graph, seed=0)
+        clustering = reliable_kcenter(engine, k=2, eta=0.6)
+        for node, center in clustering.cluster_of.items():
+            assert exact_reliability(graph, [center], node) >= 0.6 - 1e-9
+
+    def test_single_center_covers_half(self):
+        graph = _two_communities()
+        engine = RQTreeEngine.build(graph, seed=0)
+        clustering = reliable_kcenter(engine, k=1, eta=0.6)
+        assert len(clustering.centers) == 1
+        assert len(clustering.covered) == 4
+
+    def test_members_helper(self):
+        graph = _two_communities()
+        engine = RQTreeEngine.build(graph, seed=0)
+        clustering = reliable_kcenter(engine, k=2, eta=0.6)
+        center = clustering.centers[0]
+        members = clustering.members(center)
+        assert center in members
+        assert all(clustering.cluster_of[m] == center for m in members)
+
+    def test_selection_stops_when_nothing_left(self):
+        graph = uncertain_path([0.01])  # nothing reliably reachable
+        engine = RQTreeEngine.build(graph, seed=0)
+        clustering = reliable_kcenter(engine, k=5, eta=0.9)
+        # Each node covers only itself; two centers suffice for 2 nodes.
+        assert len(clustering.centers) <= 2
+
+    def test_candidate_pool_respected(self):
+        graph = _two_communities()
+        engine = RQTreeEngine.build(graph, seed=0)
+        clustering = reliable_kcenter(
+            engine, k=2, eta=0.6, candidates=[0, 1]
+        )
+        assert set(clustering.centers) <= {0, 1}
+
+    def test_invalid_k(self):
+        graph = _two_communities()
+        engine = RQTreeEngine.build(graph, seed=0)
+        with pytest.raises(ValueError):
+            reliable_kcenter(engine, k=0, eta=0.5)
+
+    def test_medium_graph_coverage_grows_with_k(self):
+        graph = nethept_like(n=150, seed=4)
+        engine = RQTreeEngine.build(graph, seed=4)
+        one = reliable_kcenter(engine, k=1, eta=0.4)
+        five = reliable_kcenter(engine, k=5, eta=0.4)
+        assert clustering_coverage(five, 150) >= clustering_coverage(one, 150)
+
+
+class TestConditionGraph:
+    def test_absent_arc_removed(self, fig1_graph, fig1_names):
+        conditioned = condition_graph(
+            fig1_graph, absent=[(fig1_names["s"], fig1_names["u"])]
+        )
+        assert not conditioned.has_arc(fig1_names["s"], fig1_names["u"])
+        assert conditioned.num_arcs == fig1_graph.num_arcs - 1
+
+    def test_present_arc_certain(self, fig1_graph, fig1_names):
+        conditioned = condition_graph(
+            fig1_graph, present=[(fig1_names["s"], fig1_names["u"])]
+        )
+        assert conditioned.probability(
+            fig1_names["s"], fig1_names["u"]
+        ) == 1.0
+
+    def test_conditional_reliability_example(self, fig1_graph, fig1_names):
+        # R(s, u | s->u absent) = P(s->w) * P(w->u) = 0.6 * 0.5 = 0.3.
+        conditioned = condition_graph(
+            fig1_graph, absent=[(fig1_names["s"], fig1_names["u"])]
+        )
+        assert exact_reliability(
+            conditioned, [fig1_names["s"]], fig1_names["u"]
+        ) == pytest.approx(0.3)
+
+    def test_contradictory_evidence_rejected(self, fig1_graph, fig1_names):
+        arc = (fig1_names["s"], fig1_names["u"])
+        with pytest.raises(GraphError):
+            condition_graph(fig1_graph, present=[arc], absent=[arc])
+
+    def test_unknown_arc_rejected(self, fig1_graph):
+        with pytest.raises(GraphError):
+            condition_graph(fig1_graph, present=[(2, 0)])
+
+    def test_no_evidence_is_identity(self, fig1_graph):
+        conditioned = condition_graph(fig1_graph)
+        assert sorted(conditioned.arcs()) == pytest.approx(
+            sorted(fig1_graph.arcs())
+        )
+
+    def test_input_not_mutated(self, fig1_graph, fig1_names):
+        arcs_before = sorted(fig1_graph.arcs())
+        condition_graph(
+            fig1_graph, absent=[(fig1_names["s"], fig1_names["u"])]
+        )
+        assert sorted(fig1_graph.arcs()) == arcs_before

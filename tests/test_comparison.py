@@ -1,0 +1,91 @@
+"""Tests for the generic method-comparison runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RQTreeEngine
+from repro.eval.comparison import compare_methods, render_comparison
+from repro.eval.workload import single_source_workload
+from repro.graph.generators import nethept_like
+from repro.reliability.estimators import make_method_suite
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = nethept_like(n=120, seed=3)
+    engine = RQTreeEngine.build(graph, seed=3)
+    methods = make_method_suite(engine, num_samples=400, seed=0)
+    workload = [[s] for s in single_source_workload(graph, 5, seed=1)]
+    return graph, methods, workload
+
+
+class TestCompareMethods:
+    def test_all_methods_reported(self, setup):
+        graph, methods, workload = setup
+        results = compare_methods(
+            graph, methods, workload, eta=0.4, truth_method="mc-sampling"
+        )
+        assert set(results) == set(methods)
+
+    def test_truth_method_scores_perfectly(self, setup):
+        graph, methods, workload = setup
+        results = compare_methods(
+            graph, methods, workload, eta=0.4, truth_method="mc-sampling"
+        )
+        truth = results["mc-sampling"]
+        assert truth.precision_ci.estimate == 1.0
+        assert truth.recall_ci.estimate == 1.0
+
+    def test_lb_precision_near_one(self, setup):
+        graph, methods, workload = setup
+        results = compare_methods(
+            graph, methods, workload, eta=0.4, truth_method="mc-sampling"
+        )
+        assert results["rq-tree-lb"].precision_ci.estimate >= 0.9
+
+    def test_confidence_intervals_bracket_estimates(self, setup):
+        graph, methods, workload = setup
+        results = compare_methods(
+            graph, methods, workload, eta=0.4, truth_method="mc-sampling"
+        )
+        for comparison in results.values():
+            for ci in (
+                comparison.precision_ci,
+                comparison.recall_ci,
+                comparison.seconds_ci,
+            ):
+                assert ci.low <= ci.estimate <= ci.high
+
+    def test_per_query_records_lengths(self, setup):
+        graph, methods, workload = setup
+        results = compare_methods(
+            graph, methods, workload, eta=0.4, truth_method="mc-sampling"
+        )
+        for comparison in results.values():
+            assert len(comparison.per_query_precision) == len(workload)
+            assert len(comparison.per_query_seconds) == len(workload)
+
+    def test_missing_truth_method_rejected(self, setup):
+        graph, methods, workload = setup
+        with pytest.raises(KeyError):
+            compare_methods(
+                graph, methods, workload, eta=0.4, truth_method="oracle"
+            )
+
+    def test_empty_workload_rejected(self, setup):
+        graph, methods, _ = setup
+        with pytest.raises(ValueError):
+            compare_methods(
+                graph, methods, [], eta=0.4, truth_method="mc-sampling"
+            )
+
+    def test_render(self, setup):
+        graph, methods, workload = setup
+        results = compare_methods(
+            graph, methods, workload, eta=0.4, truth_method="mc-sampling"
+        )
+        text = render_comparison(results, title="demo")
+        assert "demo" in text
+        assert "rq-tree-lb" in text
+        assert "[" in text  # intervals rendered

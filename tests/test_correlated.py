@@ -1,0 +1,162 @@
+"""Tests for the shared-fate correlated-arc model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import UncertainGraph
+from repro.errors import GraphError, InvalidProbabilityError
+from repro.graph.correlated import (
+    SharedFateModel,
+    correlated_mc_search,
+    exact_correlated_reliability,
+)
+from repro.graph.exact import exact_reliability
+from repro.graph.generators import uncertain_path
+
+
+def _two_arc_model(q: float = 0.5, p: float = 1.0) -> SharedFateModel:
+    """0 -> 1 -> 2; both arcs share one fate group."""
+    g = uncertain_path([p, p])
+    return SharedFateModel(g, {(0, 1): 0, (1, 2): 0}, {0: q})
+
+
+class TestModelConstruction:
+    def test_valid_model(self):
+        model = _two_arc_model()
+        assert model.num_groups == 1
+
+    def test_missing_arc_rejected(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(GraphError):
+            SharedFateModel(g, {(5, 6): 0}, {0: 0.5})
+
+    def test_missing_group_probability_rejected(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(GraphError):
+            SharedFateModel(g, {(0, 1): 7}, {})
+
+    def test_invalid_group_probability(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(InvalidProbabilityError):
+            SharedFateModel(g, {(0, 1): 0}, {0: 0.0})
+
+
+class TestMarginals:
+    def test_grouped_arc_marginal(self):
+        model = _two_arc_model(q=0.5, p=0.8)
+        assert model.marginal_probability(0, 1) == pytest.approx(0.4)
+
+    def test_ungrouped_arc_marginal(self):
+        g = uncertain_path([0.7, 0.7])
+        model = SharedFateModel(g, {(0, 1): 0}, {0: 0.5})
+        assert model.marginal_probability(1, 2) == pytest.approx(0.7)
+
+    def test_marginal_graph(self):
+        model = _two_arc_model(q=0.5, p=0.8)
+        marginal = model.marginal_graph()
+        assert marginal.probability(0, 1) == pytest.approx(0.4)
+        assert marginal.probability(1, 2) == pytest.approx(0.4)
+
+
+class TestExactOracle:
+    def test_shared_fate_beats_independent_product(self):
+        # Both arcs share a fate: R(0, 2) = q (arcs certain given alive)
+        # whereas the independent marginals would give q^2.
+        q = 0.5
+        model = _two_arc_model(q=q, p=1.0)
+        correlated = exact_correlated_reliability(model, [0], 2)
+        assert correlated == pytest.approx(q)
+        independent = exact_reliability(model.marginal_graph(), [0], 2)
+        assert independent == pytest.approx(q * q)
+        assert correlated > independent
+
+    def test_conditional_coins_still_apply(self):
+        model = _two_arc_model(q=0.5, p=0.8)
+        # R = q * p^2 = 0.5 * 0.64.
+        assert exact_correlated_reliability(model, [0], 2) == pytest.approx(
+            0.32
+        )
+
+    def test_ungrouped_model_matches_independent(self):
+        g = uncertain_path([0.6, 0.7])
+        model = SharedFateModel(g, {}, {})
+        assert exact_correlated_reliability(model, [0], 2) == pytest.approx(
+            exact_reliability(g, [0], 2)
+        )
+
+    def test_target_in_sources(self):
+        model = _two_arc_model()
+        assert exact_correlated_reliability(model, [0], 0) == 1.0
+
+    def test_size_limit(self):
+        g = UncertainGraph(6)
+        for u in range(5):
+            for v in range(5):
+                if u != v:
+                    g.add_arc(u, v, 0.5)
+        model = SharedFateModel(g, {}, {})
+        with pytest.raises(ValueError):
+            exact_correlated_reliability(model, [0], 5)
+
+
+class TestSampling:
+    def test_sampler_matches_exact(self):
+        model = _two_arc_model(q=0.6, p=0.9)
+        rng = random.Random(1)
+        hits = 0
+        trials = 5000
+        for _ in range(trials):
+            if 2 in model.sample_reachable([0], rng):
+                hits += 1
+        exact = exact_correlated_reliability(model, [0], 2)
+        assert hits / trials == pytest.approx(exact, abs=0.02)
+
+    def test_dead_group_blocks_all_member_arcs(self):
+        # q extremely small: with a fixed seed where the group dies,
+        # nothing beyond the source is reached.
+        model = _two_arc_model(q=0.001, p=1.0)
+        rng = random.Random(0)
+        reached_counts = [
+            len(model.sample_reachable([0], rng)) for _ in range(200)
+        ]
+        # The group is almost always dead: most samples reach only {0}.
+        assert sum(1 for c in reached_counts if c == 1) > 150
+
+    def test_max_hops(self):
+        model = _two_arc_model(q=1.0, p=1.0)
+        rng = random.Random(0)
+        assert model.sample_reachable([0], rng, max_hops=1) == {0, 1}
+
+
+class TestCorrelatedSearch:
+    def test_search_matches_exact_threshold(self):
+        model = _two_arc_model(q=0.6, p=1.0)
+        answer = correlated_mc_search(model, [0], 0.5, num_samples=4000, seed=2)
+        # R(0,1) = R(0,2) = 0.6 >= 0.5: all three nodes.
+        assert answer == {0, 1, 2}
+
+    def test_independence_approximation_underestimates(self):
+        # With eta between q^2 and q, the marginal-graph answer misses
+        # node 2 while the correlated truth includes it.
+        from repro.reliability.montecarlo import mc_sampling_search
+
+        model = _two_arc_model(q=0.6, p=1.0)
+        eta = 0.5  # q = 0.6 > eta > q^2 = 0.36
+        truth = correlated_mc_search(model, [0], eta, num_samples=4000, seed=3)
+        approx = mc_sampling_search(
+            model.marginal_graph(), 0, eta, num_samples=4000, seed=3
+        ).nodes
+        assert 2 in truth
+        assert 2 not in approx
+
+    def test_validation(self):
+        model = _two_arc_model()
+        from repro.errors import EmptySourceSetError
+
+        with pytest.raises(EmptySourceSetError):
+            correlated_mc_search(model, [], 0.5)
+        with pytest.raises(ValueError):
+            correlated_mc_search(model, [0], 0.5, num_samples=0)

@@ -1,0 +1,57 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    EmptySourceSetError,
+    FlowError,
+    GraphError,
+    IndexCorruptionError,
+    InvalidCapacityError,
+    InvalidProbabilityError,
+    InvalidThresholdError,
+    NodeNotFoundError,
+    PartitionError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError("x"),
+            InvalidProbabilityError(2.0),
+            InvalidThresholdError(0.0),
+            NodeNotFoundError(3),
+            EmptySourceSetError(),
+            IndexCorruptionError("x"),
+            FlowError("x"),
+            InvalidCapacityError(-1.0),
+            PartitionError("x"),
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_probability_error_is_value_error(self):
+        assert isinstance(InvalidProbabilityError(2.0), ValueError)
+
+    def test_threshold_error_is_value_error(self):
+        assert isinstance(InvalidThresholdError(0.0), ValueError)
+
+    def test_node_error_is_key_error(self):
+        assert isinstance(NodeNotFoundError(1), KeyError)
+
+    def test_capacity_error_is_flow_and_value_error(self):
+        exc = InvalidCapacityError(-2.0)
+        assert isinstance(exc, FlowError)
+        assert isinstance(exc, ValueError)
+
+    def test_messages_carry_payload(self):
+        assert "0.0" in str(InvalidThresholdError(0.0))
+        assert "7" in str(NodeNotFoundError(7))
+        exc = InvalidProbabilityError(1.5, arc=(0, 1))
+        assert "(0, 1)" in str(exc)

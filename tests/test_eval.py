@@ -1,0 +1,213 @@
+"""Unit tests for the evaluation harness (metrics, workloads, reporting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.eval.harness import mean_or_zero, run_quality_experiment
+from repro.eval.metrics import (
+    PrecisionRecall,
+    f1_score,
+    jaccard,
+    precision,
+    recall,
+)
+from repro.eval.reporting import empirical_cdf, format_series, format_table
+from repro.eval.workload import multi_source_workload, single_source_workload
+from repro.graph.generators import uncertain_path
+from repro.graph.uncertain import UncertainGraph
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        assert precision({1, 2}, {1, 2}) == 1.0
+        assert recall({1, 2}, {1, 2}) == 1.0
+        assert f1_score({1, 2}, {1, 2}) == 1.0
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_partial_overlap(self):
+        predicted, truth = {1, 2, 3}, {2, 3, 4, 5}
+        assert precision(predicted, truth) == pytest.approx(2 / 3)
+        assert recall(predicted, truth) == pytest.approx(0.5)
+        assert jaccard(predicted, truth) == pytest.approx(2 / 5)
+
+    def test_empty_conventions(self):
+        assert precision(set(), {1}) == 1.0
+        assert recall({1}, set()) == 1.0
+        assert jaccard(set(), set()) == 1.0
+
+    def test_disjoint_sets(self):
+        assert precision({1}, {2}) == 0.0
+        assert recall({1}, {2}) == 0.0
+        assert f1_score({1}, {2}) == 0.0
+
+    def test_precision_recall_bundle(self):
+        pr = PrecisionRecall.of({1, 2}, {2, 3})
+        assert pr.precision == pytest.approx(0.5)
+        assert pr.recall == pytest.approx(0.5)
+        assert pr.f1 == pytest.approx(0.5)
+
+    def test_f1_zero_division(self):
+        assert PrecisionRecall(0.0, 0.0).f1 == 0.0
+
+    def test_mean_or_zero(self):
+        assert mean_or_zero([]) == 0.0
+        assert mean_or_zero([1.0, 3.0]) == 2.0
+
+
+class TestWorkloads:
+    def test_single_source_count_and_membership(self, medium_graph):
+        queries = single_source_workload(medium_graph, 10, seed=0)
+        assert len(queries) == 10
+        assert all(q in medium_graph for q in queries)
+
+    def test_single_source_requires_out_degree(self, medium_graph):
+        queries = single_source_workload(medium_graph, 20, seed=1)
+        assert all(medium_graph.out_degree(q) > 0 for q in queries)
+
+    def test_single_source_determinism(self, medium_graph):
+        a = single_source_workload(medium_graph, 5, seed=3)
+        b = single_source_workload(medium_graph, 5, seed=3)
+        assert a == b
+
+    def test_single_source_rejects_empty(self):
+        with pytest.raises(GraphError):
+            single_source_workload(UncertainGraph(0), 3)
+
+    def test_single_source_rejects_bad_count(self, medium_graph):
+        with pytest.raises(ValueError):
+            single_source_workload(medium_graph, 0)
+
+    def test_multi_source_shape(self, medium_graph):
+        queries = multi_source_workload(
+            medium_graph, 4, set_size=3, diameter=4, seed=0
+        )
+        assert len(queries) == 4
+        for q in queries:
+            assert len(q) == 3
+            assert len(set(q)) == 3
+
+    def test_multi_source_nodes_are_close(self, medium_graph):
+        from repro.graph.traversal import induced_ball
+
+        queries = multi_source_workload(
+            medium_graph, 5, set_size=3, diameter=2, seed=1
+        )
+        radius = 2  # ball radius used for d = 2 is ceil(d/2) = 1, so any
+        # two members are within 2 undirected hops of the center.
+        for q in queries:
+            # All members fit in *some* node's radius-1 ball; verify via
+            # the first member's radius-2 ball as a conservative check.
+            ball = induced_ball(medium_graph, q[0], radius)
+            assert set(q) <= ball
+
+    def test_multi_source_determinism(self, medium_graph):
+        a = multi_source_workload(medium_graph, 3, 2, 4, seed=9)
+        b = multi_source_workload(medium_graph, 3, 2, 4, seed=9)
+        assert a == b
+
+    def test_multi_source_degrades_gracefully(self):
+        # A path graph has tiny balls; request more nodes than fit.
+        g = uncertain_path([0.5] * 5)
+        queries = multi_source_workload(
+            g, 2, set_size=4, diameter=2, seed=0, max_attempts=5
+        )
+        for q in queries:
+            assert 1 <= len(q) <= 4
+
+    def test_multi_source_validation(self, medium_graph):
+        with pytest.raises(ValueError):
+            multi_source_workload(medium_graph, 0, 2, 2)
+        with pytest.raises(ValueError):
+            multi_source_workload(medium_graph, 1, 2, 0)
+
+
+class TestHarness:
+    def test_quality_experiment_rows(self, medium_engine):
+        workload = [[0], [10], [20]]
+        rows = run_quality_experiment(
+            medium_engine, workload, eta=0.6, num_samples=100, seed=0
+        )
+        assert set(rows) == {"lb", "mc", "mc-sampling"}
+        lb = rows["lb"]
+        assert lb.precision == pytest.approx(1.0)  # perfect precision
+        assert 0.0 <= lb.recall <= 1.0
+        assert lb.seconds >= 0.0
+        assert rows["mc-sampling"].precision == 1.0
+
+    def test_quality_experiment_single_method(self, medium_engine):
+        rows = run_quality_experiment(
+            medium_engine, [[0]], eta=0.5, num_samples=50, methods=("lb",)
+        )
+        assert set(rows) == {"lb", "mc-sampling"}
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.0], ["beta", 2.5]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_float_formatting(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_format_series(self):
+        text = format_series("spread", [(1, 10.0), (2, 20.0)], "k", "sigma")
+        assert "spread" in text
+        assert text.count("\n") == 2
+
+    def test_empirical_cdf(self):
+        points = empirical_cdf([0.1, 0.5, 0.9], [0.0, 0.5, 1.0])
+        assert points == [(0.0, 0.0), (0.5, pytest.approx(2 / 3)), (1.0, 1.0)]
+
+    def test_empirical_cdf_empty_values(self):
+        assert empirical_cdf([], [0.5]) == [(0.5, 0.0)]
+
+    def test_empirical_cdf_monotone(self):
+        import random
+
+        rng = random.Random(0)
+        values = [rng.random() for _ in range(100)]
+        grid = [i / 10 for i in range(11)]
+        cdf = empirical_cdf(values, grid)
+        ys = [y for _, y in cdf]
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+
+class TestAsciiHistogram:
+    def test_bars_scale_to_peak(self):
+        from repro.eval.reporting import ascii_histogram
+
+        text = ascii_histogram(
+            [(0.0, 0.5, 10), (0.5, 1.0, 5)], width=10, title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_empty_bins(self):
+        from repro.eval.reporting import ascii_histogram
+
+        assert ascii_histogram([]) == ""
+
+    def test_all_zero_counts(self):
+        from repro.eval.reporting import ascii_histogram
+
+        text = ascii_histogram([(0.0, 1.0, 0)])
+        assert "#" not in text
+
+    def test_invalid_width(self):
+        from repro.eval.reporting import ascii_histogram
+
+        with pytest.raises(ValueError):
+            ascii_histogram([(0.0, 1.0, 1)], width=0)

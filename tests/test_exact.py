@@ -1,0 +1,135 @@
+"""Unit tests for the exact reliability oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UncertainGraph
+from repro.errors import EmptySourceSetError, NodeNotFoundError
+from repro.graph.exact import (
+    exact_outreach,
+    exact_reliability,
+    exact_reliability_bruteforce,
+    exact_reliability_search,
+)
+from repro.graph.generators import uncertain_gnp, uncertain_path
+
+
+class TestExactReliability:
+    def test_single_arc(self):
+        g = uncertain_path([0.7])
+        assert exact_reliability(g, [0], 1) == pytest.approx(0.7)
+
+    def test_series_path(self):
+        g = uncertain_path([0.5, 0.5])
+        assert exact_reliability(g, [0], 2) == pytest.approx(0.25)
+
+    def test_parallel_routes(self):
+        g = UncertainGraph(3)
+        g.add_arc(0, 1, 0.5)
+        g.add_arc(0, 2, 0.6)
+        g.add_arc(1, 2, 1.0)
+        # 1 - (1 - 0.6)(1 - 0.5) = 0.8
+        assert exact_reliability(g, [0], 2) == pytest.approx(0.8)
+
+    def test_figure1_example(self, fig1_graph, fig1_names):
+        # Example 1 of the paper: R(s, u) = 0.65.
+        value = exact_reliability(
+            fig1_graph, [fig1_names["s"]], fig1_names["u"]
+        )
+        assert value == pytest.approx(0.65)
+
+    def test_target_in_sources(self):
+        g = uncertain_path([0.1])
+        assert exact_reliability(g, [0], 0) == 1.0
+
+    def test_unreachable_target(self):
+        g = UncertainGraph(3)
+        g.add_arc(0, 1, 0.9)
+        assert exact_reliability(g, [0], 2) == 0.0
+
+    def test_multi_source(self):
+        g = UncertainGraph(3)
+        g.add_arc(0, 2, 0.5)
+        g.add_arc(1, 2, 0.5)
+        assert exact_reliability(g, [0, 1], 2) == pytest.approx(0.75)
+
+    def test_empty_sources_rejected(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(EmptySourceSetError):
+            exact_reliability(g, [], 1)
+
+    def test_missing_nodes_rejected(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(NodeNotFoundError):
+            exact_reliability(g, [9], 1)
+        with pytest.raises(NodeNotFoundError):
+            exact_reliability(g, [0], 9)
+
+
+class TestFactoringAgreesWithBruteforce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        g = uncertain_gnp(6, 0.3, seed=seed)
+        if g.num_arcs > 16:
+            pytest.skip("graph too large for brute force")
+        for target in range(1, g.num_nodes):
+            expected = exact_reliability_bruteforce(g, [0], target)
+            actual = exact_reliability(g, [0], target)
+            assert actual == pytest.approx(expected, abs=1e-9)
+
+    def test_bruteforce_arc_limit(self):
+        g = uncertain_gnp(10, 0.5, seed=0)
+        assert g.num_arcs > 24
+        with pytest.raises(ValueError):
+            exact_reliability_bruteforce(g, [0], 1)
+
+
+class TestExactOutreach:
+    def test_no_outside_nodes(self, fig1_graph):
+        assert exact_outreach(fig1_graph, [0], range(5)) == 0.0
+
+    def test_single_node_cluster(self):
+        g = uncertain_path([0.7])
+        assert exact_outreach(g, [0], [0]) == pytest.approx(0.7)
+
+    def test_outreach_at_least_max_single_reliability(
+        self, fig1_graph, fig1_names
+    ):
+        s = fig1_names["s"]
+        cluster = {s, fig1_names["w"]}
+        out = exact_outreach(fig1_graph, [s], cluster)
+        for t in range(5):
+            if t in cluster:
+                continue
+            assert out >= exact_reliability(fig1_graph, [s], t) - 1e-9
+
+    def test_source_outside_cluster_rejected(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(ValueError):
+            exact_outreach(g, [0], [1])
+
+
+class TestExactReliabilitySearch:
+    def test_figure1_example1(self, fig1_graph, fig1_names):
+        # RS({s}, 0.5) = {s, u, w} (paper, Example 1).
+        answer = exact_reliability_search(fig1_graph, [fig1_names["s"]], 0.5)
+        expected = {fig1_names["s"], fig1_names["u"], fig1_names["w"]}
+        assert answer == expected
+
+    def test_sources_always_in_answer(self):
+        g = uncertain_path([0.01])
+        assert 0 in exact_reliability_search(g, [0], 0.99)
+
+    def test_low_threshold_includes_everything_reachable(self):
+        g = uncertain_path([0.5, 0.5])
+        answer = exact_reliability_search(g, [0], 0.01)
+        assert answer == {0, 1, 2}
+
+    def test_monotone_in_eta(self):
+        g = uncertain_gnp(6, 0.35, seed=4)
+        if g.num_arcs > 16:
+            pytest.skip("too large")
+        low = exact_reliability_search(g, [0], 0.2)
+        high = exact_reliability_search(g, [0], 0.8)
+        assert high <= low

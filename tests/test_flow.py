@@ -1,0 +1,235 @@
+"""Unit tests for the max-flow / min-cut subsystem."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import FlowError, InvalidCapacityError
+from repro.flow.dinic import dinic_max_flow
+from repro.flow.mincut import (
+    FLOW_ENGINES,
+    min_cut_arcs,
+    min_cut_partition,
+    multi_terminal_max_flow,
+    solve_max_flow,
+)
+from repro.flow.network import FlowNetwork
+from repro.flow.push_relabel import push_relabel_max_flow
+
+ENGINES = [dinic_max_flow, push_relabel_max_flow]
+
+
+def _diamond_network():
+    """Classic 4-node diamond: max-flow 0 -> 3 is 2.0."""
+    net = FlowNetwork(4)
+    net.add_edge(0, 1, 1.0)
+    net.add_edge(0, 2, 1.0)
+    net.add_edge(1, 3, 1.0)
+    net.add_edge(2, 3, 1.0)
+    return net
+
+
+def _bottleneck_network():
+    """0 -> 1 -> 2 with capacities 5 and 3: flow 3."""
+    net = FlowNetwork(3)
+    net.add_edge(0, 1, 5.0)
+    net.add_edge(1, 2, 3.0)
+    return net
+
+
+class TestFlowNetwork:
+    def test_edge_and_reverse_created(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 2.5)
+        assert net.edge_to[e] == 1
+        assert net.edge_to[e ^ 1] == 0
+        assert net.capacity[e] == 2.5
+        assert net.capacity[e ^ 1] == 0.0
+        assert net.num_edges == 1
+
+    def test_add_node(self):
+        net = FlowNetwork(1)
+        assert net.add_node() == 1
+        assert net.num_nodes == 2
+
+    def test_invalid_capacity_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(InvalidCapacityError):
+            net.add_edge(0, 1, -1.0)
+        with pytest.raises(InvalidCapacityError):
+            net.add_edge(0, 1, float("nan"))
+
+    def test_out_of_range_nodes_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(FlowError):
+            net.add_edge(0, 5, 1.0)
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(FlowError):
+            FlowNetwork(-1)
+
+    def test_snapshot_restore(self):
+        net = _bottleneck_network()
+        snapshot = net.snapshot_capacities()
+        dinic_max_flow(net, 0, 2)
+        assert net.capacity != snapshot
+        net.restore_capacities(snapshot)
+        assert net.capacity == snapshot
+
+    def test_restore_length_mismatch(self):
+        net = _bottleneck_network()
+        with pytest.raises(FlowError):
+            net.restore_capacities([1.0])
+
+    def test_flow_on_reports_pushed_flow(self):
+        net = _bottleneck_network()
+        dinic_max_flow(net, 0, 2)
+        assert net.flow_on(0, 5.0) == pytest.approx(3.0)
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=["dinic", "push_relabel"])
+class TestMaxFlowEngines:
+    def test_diamond(self, engine):
+        assert engine(_diamond_network(), 0, 3) == pytest.approx(2.0)
+
+    def test_bottleneck(self, engine):
+        assert engine(_bottleneck_network(), 0, 2) == pytest.approx(3.0)
+
+    def test_disconnected(self, engine):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1.0)
+        assert engine(net, 0, 2) == 0.0
+
+    def test_source_equals_sink(self, engine):
+        assert engine(FlowNetwork(1), 0, 0) == math.inf
+
+    def test_antiparallel_edges(self, engine):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 3.0)
+        net.add_edge(1, 0, 2.0)
+        assert engine(net, 0, 1) == pytest.approx(3.0)
+
+    def test_infinite_capacity_path(self, engine):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, math.inf)
+        net.add_edge(1, 2, math.inf)
+        assert engine(net, 0, 2) == math.inf
+
+    def test_infinite_edge_finite_bottleneck(self, engine):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, math.inf)
+        net.add_edge(1, 2, 4.0)
+        assert engine(net, 0, 2) == pytest.approx(4.0)
+
+    def test_classic_crossing_network(self, engine):
+        # CLRS-style example with a cross edge; known max-flow 23.
+        net = FlowNetwork(6)
+        net.add_edge(0, 1, 16.0)
+        net.add_edge(0, 2, 13.0)
+        net.add_edge(1, 3, 12.0)
+        net.add_edge(2, 1, 4.0)
+        net.add_edge(2, 4, 14.0)
+        net.add_edge(3, 2, 9.0)
+        net.add_edge(3, 5, 20.0)
+        net.add_edge(4, 3, 7.0)
+        net.add_edge(4, 5, 4.0)
+        assert engine(net, 0, 5) == pytest.approx(23.0)
+
+    def test_fractional_capacities(self, engine):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 0.25)
+        net.add_edge(0, 1, 0.35)
+        net.add_edge(1, 2, 0.4)
+        assert engine(net, 0, 2) == pytest.approx(0.4)
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_networks(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 12)
+        net_a = FlowNetwork(n)
+        net_b = FlowNetwork(n)
+        for _ in range(rng.randint(5, 30)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            c = rng.uniform(0.0, 5.0)
+            net_a.add_edge(u, v, c)
+            net_b.add_edge(u, v, c)
+        flow_a = dinic_max_flow(net_a, 0, n - 1)
+        flow_b = push_relabel_max_flow(net_b, 0, n - 1)
+        assert flow_a == pytest.approx(flow_b, abs=1e-8)
+
+    def test_flow_equals_min_cut_weight(self):
+        # Max-flow/min-cut duality on random networks, via cut extraction.
+        rng = random.Random(99)
+        for _ in range(5):
+            n = 8
+            arcs = []
+            for _ in range(20):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v:
+                    arcs.append((u, v, rng.uniform(0.1, 3.0)))
+            value, net, s0, t0 = multi_terminal_max_flow(
+                n, arcs, [0], [n - 1]
+            )
+            cut = min_cut_arcs(net, s0, arcs)
+            assert value == pytest.approx(sum(c for _, _, c in cut), abs=1e-8)
+
+
+class TestMultiTerminal:
+    def test_multiple_sources_add_capacity(self):
+        arcs = [(0, 2, 1.0), (1, 2, 1.0)]
+        value, _, _, _ = multi_terminal_max_flow(3, arcs, [0, 1], [2])
+        assert value == pytest.approx(2.0)
+
+    def test_multiple_sinks(self):
+        arcs = [(0, 1, 1.0), (0, 2, 1.5)]
+        value, _, _, _ = multi_terminal_max_flow(3, arcs, [0], [1, 2])
+        assert value == pytest.approx(2.5)
+
+    def test_overlapping_terminals_give_infinite_flow(self):
+        value, _, _, _ = multi_terminal_max_flow(2, [], [0], [0, 1])
+        assert value == math.inf
+
+    def test_empty_sink_set(self):
+        value, _, _, _ = multi_terminal_max_flow(2, [(0, 1, 1.0)], [0], [])
+        assert value == 0.0
+
+    def test_zero_capacity_arcs_dropped(self):
+        value, net, _, _ = multi_terminal_max_flow(
+            2, [(0, 1, 0.0)], [0], [1]
+        )
+        assert value == 0.0
+
+    def test_engine_selection(self):
+        arcs = [(0, 1, 2.0)]
+        for engine in FLOW_ENGINES:
+            value, _, _, _ = multi_terminal_max_flow(
+                2, arcs, [0], [1], engine=engine
+            )
+            assert value == pytest.approx(2.0)
+
+    def test_unknown_engine_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(FlowError):
+            solve_max_flow(net, 0, 1, engine="simplex")
+
+
+class TestMinCutPartition:
+    def test_source_side_contains_source(self):
+        net = _bottleneck_network()
+        dinic_max_flow(net, 0, 2)
+        side = min_cut_partition(net, 0)
+        assert 0 in side
+        assert 2 not in side
+
+    def test_cut_separates_in_diamond(self):
+        net = _diamond_network()
+        dinic_max_flow(net, 0, 3)
+        side = min_cut_partition(net, 0)
+        assert 0 in side and 3 not in side

@@ -1,0 +1,174 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.graph.generators import (
+    biomine_like,
+    dblp_like,
+    figure1_graph,
+    flickr_like,
+    hierarchical_community_arcs,
+    lastfm_like,
+    nethept_like,
+    preferential_attachment_arcs,
+    uncertain_cycle,
+    uncertain_gnp,
+    uncertain_grid,
+    uncertain_path,
+    uncertain_random_dag,
+    webgraph_like,
+)
+
+
+def _probabilities(graph):
+    return [p for _, _, p in graph.arcs()]
+
+
+class TestStructuredGenerators:
+    def test_figure1_matches_paper_bounds(self):
+        g, names = figure1_graph()
+        assert g.num_nodes == 5
+        assert g.num_arcs == 8
+        assert g.probability(names["s"], names["w"]) == 0.6
+
+    def test_path(self):
+        g = uncertain_path([0.1, 0.2, 0.3])
+        assert g.num_nodes == 4
+        assert g.num_arcs == 3
+        assert g.probability(2, 3) == pytest.approx(0.3)
+
+    def test_cycle(self):
+        g = uncertain_cycle(5, 0.4)
+        assert g.num_arcs == 5
+        assert g.probability(4, 0) == pytest.approx(0.4)
+
+    def test_grid_shape(self):
+        g = uncertain_grid(3, 4, 0.5)
+        assert g.num_nodes == 12
+        # 3*3 horizontal + 2*4 vertical undirected edges, both directions.
+        assert g.num_arcs == 2 * (3 * 3 + 2 * 4)
+
+    def test_grid_unidirectional(self):
+        g = uncertain_grid(3, 3, 0.5, bidirectional=False)
+        assert g.num_arcs == 3 * 2 + 2 * 3
+
+    def test_gnp_determinism(self):
+        a = uncertain_gnp(10, 0.3, seed=4)
+        b = uncertain_gnp(10, 0.3, seed=4)
+        assert sorted(a.arcs()) == sorted(b.arcs())
+
+    def test_gnp_probability_range(self):
+        g = uncertain_gnp(12, 0.4, existence_range=(0.25, 0.75), seed=1)
+        assert all(0.25 <= p <= 0.75 for p in _probabilities(g))
+
+    def test_random_dag_is_acyclic(self):
+        g = uncertain_random_dag(20, 3.0, seed=2)
+        for u, v, _ in g.arcs():
+            assert u < v
+
+
+class TestTopologyHelpers:
+    def test_hierarchical_arcs_levels_cross_boundaries(self):
+        rng = random.Random(0)
+        arcs = hierarchical_community_arcs(64, 4.0, rng, decay=0.4)
+        assert arcs
+        for u, v in arcs:
+            assert 0 <= u < 64 and 0 <= v < 64 and u != v
+
+    def test_hierarchical_locality(self):
+        # With small decay most edges stay within small blocks.
+        rng = random.Random(1)
+        arcs = hierarchical_community_arcs(1024, 4.0, rng, decay=0.3)
+        local = sum(1 for u, v in arcs if abs(u - v) < 16)
+        assert local / len(arcs) > 0.6
+
+    def test_hierarchical_tiny_inputs(self):
+        rng = random.Random(0)
+        assert hierarchical_community_arcs(0, 3.0, rng) == []
+        assert hierarchical_community_arcs(1, 3.0, rng) == []
+
+    def test_preferential_attachment_degree_skew(self):
+        rng = random.Random(0)
+        arcs = preferential_attachment_arcs(300, 3, rng)
+        degree = {}
+        for u, v in arcs:
+            degree[v] = degree.get(v, 0) + 1
+        assert max(degree.values()) > 5 * (len(arcs) / 300)
+
+
+class TestDatasetStandIns:
+    @pytest.mark.parametrize(
+        "factory",
+        [dblp_like, flickr_like, biomine_like, lastfm_like, nethept_like],
+    )
+    def test_basic_contract(self, factory):
+        g = factory(n=256, seed=3)
+        assert g.num_nodes == 256
+        assert g.num_arcs > 100
+        assert all(0.0 < p <= 1.0 for p in _probabilities(g))
+
+    @pytest.mark.parametrize(
+        "factory",
+        [dblp_like, flickr_like, biomine_like, lastfm_like, nethept_like,
+         webgraph_like],
+    )
+    def test_determinism(self, factory):
+        a = factory(n=128, seed=9)
+        b = factory(n=128, seed=9)
+        assert sorted(a.arcs()) == sorted(b.arcs())
+
+    def test_dblp_mu_controls_probabilities(self):
+        # Larger mu -> smaller probabilities (paper, Section 7.1).
+        mean = {}
+        for mu in (2.0, 5.0, 10.0):
+            g = dblp_like(n=512, mu=mu, seed=0)
+            probs = _probabilities(g)
+            mean[mu] = sum(probs) / len(probs)
+        assert mean[2.0] > mean[5.0] > mean[10.0]
+
+    def test_dblp_probability_formula(self):
+        # Every probability must equal 1 - exp(-c/mu) for integer c.
+        g = dblp_like(n=256, mu=5.0, seed=1)
+        for p in _probabilities(g):
+            c = -5.0 * math.log(1.0 - p)
+            assert c == pytest.approx(round(c), abs=1e-6)
+
+    def test_dblp_arcs_are_bidirectional(self):
+        g = dblp_like(n=256, seed=2)
+        for u, v, p in g.arcs():
+            assert g.probability(v, u) == pytest.approx(p)
+
+    def test_nethept_constant_probability(self):
+        g = nethept_like(n=256, seed=0)
+        assert all(p == 0.5 for p in _probabilities(g))
+
+    def test_lastfm_weighted_cascade(self):
+        g = lastfm_like(n=256, seed=0)
+        for u in g.nodes():
+            deg = g.out_degree(u)
+            for _, p in g.successors(u).items():
+                assert p == pytest.approx(1.0 / deg)
+
+    def test_webgraph_weighted_cascade(self):
+        g = webgraph_like(n=512, seed=0)
+        for u in g.nodes():
+            deg = g.out_degree(u)
+            for _, p in g.successors(u).items():
+                assert p == pytest.approx(1.0 / deg)
+
+    def test_biomine_probabilities_skew_high(self):
+        g = biomine_like(n=512, seed=0)
+        probs = _probabilities(g)
+        assert sum(probs) / len(probs) > 0.55
+
+    def test_flickr_probabilities_are_jaccard_like(self):
+        g = flickr_like(n=256, seed=0)
+        probs = _probabilities(g)
+        assert all(0.02 <= p <= 1.0 for p in probs)
+        # Homophily floor plus genuine overlap: some variation expected.
+        assert len({round(p, 3) for p in probs}) > 5

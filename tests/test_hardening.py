@@ -1,0 +1,70 @@
+"""Tests for the network-hardening application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UncertainGraph
+from repro.apps.hardening import greedy_hardening
+from repro.graph.generators import nethept_like, uncertain_path
+
+
+class TestGreedyHardening:
+    def test_path_graph_upgrades_weak_link(self):
+        # 0 -(0.9)-> 1 -(0.3)-> 2: at eta = 0.5 only {0, 1} is reliable;
+        # upgrading the weak link adds node 2.
+        g = uncertain_path([0.9, 0.3])
+        plan = greedy_hardening(g, [0], budget=1, eta=0.5)
+        assert plan.baseline_size == 2
+        assert plan.upgrades == [(1, 2)]
+        assert plan.reliable_sizes == [3]
+        assert plan.gain == 1
+
+    def test_budget_consumed_in_order_of_gain(self):
+        # A star of weak arcs: each upgrade adds exactly one node.
+        g = UncertainGraph(5)
+        for v in range(1, 5):
+            g.add_arc(0, v, 0.3)
+        plan = greedy_hardening(g, [0], budget=3, eta=0.5)
+        assert len(plan.upgrades) == 3
+        assert plan.reliable_sizes == [2, 3, 4]
+
+    def test_stops_when_no_gain_possible(self):
+        # Everything already reliable: no upgrade helps.
+        g = uncertain_path([0.9, 0.9])
+        plan = greedy_hardening(g, [0], budget=5, eta=0.5)
+        assert plan.upgrades == []
+        assert plan.gain == 0
+
+    def test_reliable_sizes_monotone(self):
+        g = nethept_like(n=80, seed=2)
+        source = next(u for u in g.nodes() if g.out_degree(u) > 1)
+        plan = greedy_hardening(
+            g, [source], budget=3, eta=0.5, max_candidates_per_round=8
+        )
+        sizes = [plan.baseline_size] + plan.reliable_sizes
+        assert sizes == sorted(sizes)
+
+    def test_input_graph_unchanged(self):
+        g = uncertain_path([0.9, 0.3])
+        arcs_before = sorted(g.arcs())
+        greedy_hardening(g, [0], budget=1, eta=0.5)
+        assert sorted(g.arcs()) == arcs_before
+
+    def test_multi_source(self):
+        g = UncertainGraph(4)
+        g.add_arc(0, 2, 0.3)
+        g.add_arc(1, 3, 0.3)
+        plan = greedy_hardening(g, [0, 1], budget=2, eta=0.5)
+        assert len(plan.upgrades) == 2
+        assert plan.reliable_sizes[-1] == 4
+
+    def test_invalid_budget(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(ValueError):
+            greedy_hardening(g, [0], budget=0, eta=0.5)
+
+    def test_queries_accounted(self):
+        g = uncertain_path([0.9, 0.3])
+        plan = greedy_hardening(g, [0], budget=1, eta=0.5)
+        assert plan.queries_issued >= 2  # baseline + >= 1 candidate

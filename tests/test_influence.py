@@ -1,0 +1,153 @@
+"""Unit tests for influence maximization (Section 7.7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RQTreeEngine, UncertainGraph
+from repro.errors import EmptySourceSetError
+from repro.graph.exact import exact_reliability
+from repro.graph.generators import lastfm_like, uncertain_path
+from repro.influence.greedy import greedy_influence, greedy_mc, greedy_rqtree
+from repro.influence.spread import (
+    expected_spread_histogram,
+    expected_spread_mc,
+)
+
+
+@pytest.fixture(scope="module")
+def im_graph():
+    return lastfm_like(n=120, seed=3)
+
+
+@pytest.fixture(scope="module")
+def im_engine(im_graph):
+    return RQTreeEngine.build(im_graph, seed=3)
+
+
+class TestSpreadMC:
+    def test_seed_always_counts_itself(self):
+        g = UncertainGraph(3)
+        spread = expected_spread_mc(g, [0], num_samples=50, seed=0)
+        assert spread == pytest.approx(1.0)
+
+    def test_matches_sum_of_reliabilities(self, fig1_graph, fig1_names):
+        # sigma(S) = sum_t R(S, t) (Section 7.7).
+        s = fig1_names["s"]
+        expected = sum(
+            exact_reliability(fig1_graph, [s], t) for t in range(5)
+        )
+        estimate = expected_spread_mc(fig1_graph, [s], num_samples=6000, seed=1)
+        assert estimate == pytest.approx(expected, abs=0.1)
+
+    def test_monotone_in_seed_set(self, im_graph):
+        small = expected_spread_mc(im_graph, [0], num_samples=300, seed=0)
+        large = expected_spread_mc(im_graph, [0, 1, 2], num_samples=300, seed=0)
+        assert large >= small
+
+    def test_empty_seeds_rejected(self, im_graph):
+        with pytest.raises(EmptySourceSetError):
+            expected_spread_mc(im_graph, [])
+
+    def test_invalid_samples_rejected(self, im_graph):
+        with pytest.raises(ValueError):
+            expected_spread_mc(im_graph, [0], num_samples=0)
+
+
+class TestSpreadHistogram:
+    def test_lower_bounds_true_spread_roughly(self, im_engine, im_graph):
+        # The histogram is a lower Riemann sum over the LB answers, so it
+        # should not wildly exceed the MC estimate.
+        for seeds in ([0], [5, 10]):
+            histogram = expected_spread_histogram(im_engine, seeds)
+            mc = expected_spread_mc(im_graph, seeds, num_samples=500, seed=0)
+            assert histogram <= mc * 1.5 + 1.0
+
+    def test_monotone_in_seed_set(self, im_engine):
+        small = expected_spread_histogram(im_engine, [0])
+        large = expected_spread_histogram(im_engine, [0, 1, 2, 3])
+        assert large >= small - 1e-9
+
+    def test_single_threshold(self, im_engine):
+        value = expected_spread_histogram(im_engine, [0], thresholds=[0.5])
+        assert value >= 0.5  # at least the seed itself at eta = 0.5
+
+    def test_empty_thresholds_rejected(self, im_engine):
+        with pytest.raises(ValueError):
+            expected_spread_histogram(im_engine, [0], thresholds=[])
+
+    def test_empty_seeds_rejected(self, im_engine):
+        with pytest.raises(EmptySourceSetError):
+            expected_spread_histogram(im_engine, [])
+
+
+class TestGreedy:
+    def test_generic_greedy_with_deterministic_oracle(self):
+        g = UncertainGraph(5)
+
+        # Oracle: value of a set is the max element (monotone, submodular).
+        def oracle(seeds):
+            return float(max(seeds)) + 1.0
+
+        trace = greedy_influence(g, 2, oracle, use_celf=False)
+        assert trace.seeds[0] == 4  # the argmax node first
+
+    def test_celf_matches_plain_greedy_on_modular_oracle(self):
+        g = UncertainGraph(6)
+        weights = {0: 5.0, 1: 4.0, 2: 3.0, 3: 2.0, 4: 1.0, 5: 0.5}
+
+        def oracle(seeds):
+            return sum(weights[s] for s in seeds)
+
+        plain = greedy_influence(g, 3, oracle, use_celf=False)
+        celf = greedy_influence(g, 3, oracle, use_celf=True)
+        assert plain.seeds == celf.seeds == [0, 1, 2]
+
+    def test_celf_saves_evaluations(self, im_graph):
+        plain = greedy_mc(im_graph, 2, num_samples=30, seed=0, use_celf=False)
+        celf = greedy_mc(im_graph, 2, num_samples=30, seed=0, use_celf=True)
+        assert celf.evaluations <= plain.evaluations
+
+    def test_trace_structure(self, im_graph):
+        trace = greedy_mc(im_graph, 3, num_samples=30, seed=0)
+        assert len(trace.seeds) == 3
+        assert len(trace.spreads) == 3
+        assert len(trace.seconds) == 3
+        assert trace.seconds == sorted(trace.seconds)
+        assert len(set(trace.seeds)) == 3  # no repeats
+
+    def test_spreads_non_decreasing(self, im_graph):
+        trace = greedy_mc(im_graph, 3, num_samples=50, seed=1)
+        assert trace.spreads == sorted(trace.spreads)
+
+    def test_candidate_pool_respected(self, im_graph):
+        trace = greedy_mc(
+            im_graph, 2, num_samples=30, seed=0, candidates=[4, 5, 6]
+        )
+        assert set(trace.seeds) <= {4, 5, 6}
+
+    def test_k_larger_than_pool(self, im_graph):
+        trace = greedy_mc(
+            im_graph, 5, num_samples=20, seed=0, candidates=[1, 2]
+        )
+        assert len(trace.seeds) == 2
+
+    def test_invalid_k_rejected(self, im_graph):
+        with pytest.raises(ValueError):
+            greedy_mc(im_graph, 0)
+
+    def test_rqtree_greedy_runs(self, im_engine):
+        trace = greedy_rqtree(im_engine, 2, thresholds=[0.3, 0.6])
+        assert len(trace.seeds) == 2
+
+    def test_rqtree_greedy_picks_influential_nodes(self, im_engine, im_graph):
+        # The RQ-tree Greedy seed should beat a random node's spread.
+        trace = greedy_rqtree(im_engine, 1, thresholds=[0.2, 0.4, 0.6, 0.8])
+        best = expected_spread_mc(
+            im_graph, [trace.seeds[0]], num_samples=300, seed=5
+        )
+        worst = min(
+            expected_spread_mc(im_graph, [v], num_samples=300, seed=5)
+            for v in [7, 33, 90]
+        )
+        assert best >= worst

@@ -1,0 +1,113 @@
+"""Tests for networkx interop and gzip-transparent I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro import UncertainGraph
+from repro.errors import GraphError
+from repro.graph.generators import uncertain_gnp
+from repro.graph.interop import from_networkx, to_networkx
+from repro.graph.io import (
+    load_graph_json,
+    read_edge_list,
+    save_graph_json,
+    write_edge_list,
+)
+
+
+class TestFromNetworkx:
+    def test_digraph_roundtrip_labels(self):
+        nx_graph = networkx.DiGraph()
+        nx_graph.add_edge("alice", "bob", probability=0.7)
+        nx_graph.add_edge("bob", "carol", probability=0.4)
+        graph, index = from_networkx(nx_graph)
+        assert graph.num_nodes == 3
+        assert graph.probability(index["alice"], index["bob"]) == 0.7
+
+    def test_undirected_becomes_bidirectional(self):
+        nx_graph = networkx.Graph()
+        nx_graph.add_edge(0, 1, probability=0.5)
+        graph, index = from_networkx(nx_graph)
+        assert graph.has_arc(index[0], index[1])
+        assert graph.has_arc(index[1], index[0])
+
+    def test_missing_attribute_uses_default(self):
+        nx_graph = networkx.DiGraph()
+        nx_graph.add_edge(0, 1)
+        graph, index = from_networkx(nx_graph, default_probability=0.3)
+        assert graph.probability(index[0], index[1]) == pytest.approx(0.3)
+
+    def test_missing_attribute_without_default_rejected(self):
+        nx_graph = networkx.DiGraph()
+        nx_graph.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            from_networkx(nx_graph)
+
+    def test_custom_attribute_name(self):
+        nx_graph = networkx.DiGraph()
+        nx_graph.add_edge(0, 1, weight=0.9)
+        graph, index = from_networkx(nx_graph, probability_attribute="weight")
+        assert graph.probability(index[0], index[1]) == pytest.approx(0.9)
+
+    def test_isolated_nodes_preserved(self):
+        nx_graph = networkx.DiGraph()
+        nx_graph.add_nodes_from(["x", "y", "z"])
+        nx_graph.add_edge("x", "y", probability=0.5)
+        graph, _ = from_networkx(nx_graph)
+        assert graph.num_nodes == 3
+
+
+class TestToNetworkx:
+    def test_round_trip(self):
+        original = uncertain_gnp(10, 0.3, seed=4)
+        nx_graph = to_networkx(original)
+        back, index = from_networkx(nx_graph)
+        assert back.num_nodes == original.num_nodes
+        assert sorted(back.arcs()) == pytest.approx(sorted(original.arcs()))
+
+    def test_reachability_agrees_with_networkx(self):
+        graph = uncertain_gnp(12, 0.25, seed=7)
+        nx_graph = to_networkx(graph)
+        from repro.graph.traversal import bfs_reachable
+
+        ours = bfs_reachable(graph, [0])
+        theirs = set(networkx.descendants(nx_graph, 0)) | {0}
+        assert ours == theirs
+
+    def test_isolated_nodes_exported(self):
+        graph = UncertainGraph(4)
+        graph.add_arc(0, 1, 0.5)
+        nx_graph = to_networkx(graph)
+        assert nx_graph.number_of_nodes() == 4
+
+
+class TestGzipIO:
+    def test_edge_list_gz_round_trip(self, tmp_path):
+        graph = uncertain_gnp(15, 0.3, seed=2)
+        path = tmp_path / "g.txt.gz"
+        write_edge_list(graph, path)
+        restored = read_edge_list(path)
+        originals = sorted(graph.arcs())
+        round_tripped = sorted(restored.arcs())
+        assert len(round_tripped) == len(originals)
+        for (u1, v1, p1), (u2, v2, p2) in zip(originals, round_tripped):
+            assert (u1, v1) == (u2, v2)
+            assert p2 == pytest.approx(p1, rel=1e-9)
+        # The file really is gzip (magic bytes).
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_json_gz_round_trip(self, tmp_path):
+        graph = uncertain_gnp(15, 0.3, seed=3)
+        path = tmp_path / "g.json.gz"
+        save_graph_json(graph, path)
+        restored = load_graph_json(path)
+        assert restored.num_arcs == graph.num_arcs
+
+    def test_plain_files_still_work(self, tmp_path):
+        graph = uncertain_gnp(10, 0.3, seed=1)
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        assert path.read_text().startswith("%%")

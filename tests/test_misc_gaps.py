@@ -1,0 +1,107 @@
+"""Gap-filling tests: paths not covered by the per-module suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RQTreeEngine, UncertainGraph
+from repro.graph.exact import exact_reliability_search
+from repro.graph.generators import nethept_like, uncertain_gnp, uncertain_path
+from repro.influence.spread import DEFAULT_THRESHOLDS, expected_spread_histogram
+from repro.reliability.estimators import make_method_suite
+
+
+class TestPushRelabelEngineEndToEnd:
+    def test_queries_match_dinic_engine(self):
+        graph = nethept_like(n=100, seed=8)
+        dinic_engine = RQTreeEngine.build(graph, seed=8, flow_engine="dinic")
+        pr_engine = RQTreeEngine(
+            graph, dinic_engine.tree, flow_engine="push_relabel"
+        )
+        for s in (0, 25, 50, 99):
+            for eta in (0.3, 0.6, 0.9):
+                assert (
+                    dinic_engine.query(s, eta).nodes
+                    == pr_engine.query(s, eta).nodes
+                ), (s, eta)
+
+    def test_push_relabel_lb_has_no_false_positives(self):
+        for seed in range(3):
+            g = uncertain_gnp(7, 0.25, seed=seed)
+            if g.num_arcs > 16 or g.num_arcs == 0:
+                continue
+            engine = RQTreeEngine.build(
+                g, seed=seed, flow_engine="push_relabel"
+            )
+            truth = exact_reliability_search(g, [0], 0.4)
+            assert engine.query(0, 0.4).nodes <= truth
+
+
+class TestMethodSuiteRHTPath:
+    def test_rht_method_answers(self):
+        graph = nethept_like(n=40, seed=2)
+        engine = RQTreeEngine.build(graph, seed=2)
+        suite = make_method_suite(
+            engine, num_samples=100, rht_budget=16, seed=0, include_rht=True
+        )
+        answer = suite["rht-sampling"](graph, [0], 0.4)
+        assert 0 in answer
+
+
+class TestSpreadHistogramDefaults:
+    def test_default_thresholds_ascending(self):
+        assert list(DEFAULT_THRESHOLDS) == sorted(DEFAULT_THRESHOLDS)
+
+    def test_unsorted_thresholds_accepted(self):
+        graph = uncertain_path([0.9, 0.9])
+        engine = RQTreeEngine.build(graph, seed=0)
+        forward = expected_spread_histogram(
+            engine, [0], thresholds=(0.2, 0.8)
+        )
+        backward = expected_spread_histogram(
+            engine, [0], thresholds=(0.8, 0.2)
+        )
+        assert forward == pytest.approx(backward)
+
+    def test_histogram_never_negative(self):
+        graph = uncertain_path([0.5])
+        engine = RQTreeEngine.build(graph, seed=0)
+        assert expected_spread_histogram(engine, [0]) >= 0.0
+
+
+class TestQueryResultExplainMC:
+    def test_mc_explain_reports_method(self):
+        graph = nethept_like(n=60, seed=1)
+        engine = RQTreeEngine.build(graph, seed=1)
+        text = engine.query(
+            0, 0.5, method="mc", num_samples=50, seed=0
+        ).explain()
+        assert "rq-tree-mc" in text
+        assert "verification [mc]" in text
+
+
+class TestSubgraphViewParentAccess:
+    def test_parent_property(self):
+        graph = uncertain_path([0.5, 0.5])
+        view = graph.subgraph([0, 1])
+        assert view.parent is graph
+        assert view.members == {0, 1}
+
+    def test_num_arcs_recomputed_after_parent_mutation(self):
+        graph = UncertainGraph(3)
+        graph.add_arc(0, 1, 0.5)
+        view = graph.subgraph([0, 1, 2])
+        assert view.num_arcs == 1
+        graph.add_arc(1, 2, 0.5)
+        assert view.num_arcs == 2  # the view is live
+
+
+class TestEngineBoundsCacheSharing:
+    def test_candidates_and_query_share_cache(self):
+        graph = nethept_like(n=60, seed=5)
+        engine = RQTreeEngine.build(graph, seed=5)
+        engine.candidates(0, 0.6)
+        misses_after_first = engine.bounds_cache.misses
+        engine.query(0, 0.6)
+        # The query's traversal reuses the candidates() entries.
+        assert engine.bounds_cache.misses == misses_after_first

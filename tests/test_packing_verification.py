@@ -1,0 +1,124 @@
+"""Tests for the edge-packing verification (method='lb+')."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RQTreeEngine
+from repro.core.verification import (
+    verify_lower_bound,
+    verify_lower_bound_packing,
+)
+from repro.errors import EmptySourceSetError
+from repro.graph.exact import exact_reliability
+from repro.graph.generators import figure1_graph, uncertain_gnp, uncertain_path
+
+
+class TestPackingBound:
+    def test_recovers_multipath_node_on_figure1(self, fig1_graph, fig1_names):
+        # u: R = 0.65 via two arc-disjoint paths (s->u at 0.5 and
+        # s->w->u at 0.3): packing bound 1 - 0.5*0.7 = 0.65 >= 0.6.
+        candidates = set(range(5))
+        single = verify_lower_bound(
+            fig1_graph, [fig1_names["s"]], 0.6, candidates
+        )
+        packing = verify_lower_bound_packing(
+            fig1_graph, [fig1_names["s"]], 0.6, candidates
+        )
+        assert fig1_names["u"] not in single
+        assert fig1_names["u"] in packing
+
+    def test_dominates_single_path_bound(self):
+        for seed in range(5):
+            g = uncertain_gnp(7, 0.3, seed=seed)
+            if g.num_arcs == 0:
+                continue
+            candidates = set(g.nodes())
+            for eta in (0.3, 0.5, 0.7):
+                single = verify_lower_bound(g, [0], eta, candidates)
+                packing = verify_lower_bound_packing(g, [0], eta, candidates)
+                assert single <= packing, (seed, eta)
+
+    def test_perfect_precision_preserved(self):
+        # Every node lb+ keeps truly satisfies the query (exact oracle).
+        for seed in range(5):
+            g = uncertain_gnp(6, 0.35, seed=seed)
+            if g.num_arcs > 16 or g.num_arcs == 0:
+                continue
+            candidates = set(g.nodes())
+            for eta in (0.3, 0.6):
+                kept = verify_lower_bound_packing(g, [0], eta, candidates)
+                for t in kept:
+                    assert exact_reliability(g, [0], t) >= eta - 1e-9
+
+    def test_max_paths_one_equals_single_path(self, fig1_graph, fig1_names):
+        candidates = set(range(5))
+        single = verify_lower_bound(
+            fig1_graph, [fig1_names["s"]], 0.5, candidates
+        )
+        packing = verify_lower_bound_packing(
+            fig1_graph, [fig1_names["s"]], 0.5, candidates, max_paths=1
+        )
+        assert single == packing
+
+    def test_more_paths_never_hurt(self, fig1_graph, fig1_names):
+        candidates = set(range(5))
+        kept_by_budget = [
+            verify_lower_bound_packing(
+                fig1_graph, [fig1_names["s"]], 0.6, candidates, max_paths=k
+            )
+            for k in (1, 2, 4)
+        ]
+        for smaller, larger in zip(kept_by_budget, kept_by_budget[1:]):
+            assert smaller <= larger
+
+    def test_respects_candidate_restriction(self):
+        g = uncertain_path([0.9, 0.9])
+        kept = verify_lower_bound_packing(g, [0], 0.5, {0, 2})
+        assert kept == {0}
+
+    def test_serial_path_gains_nothing(self):
+        # A pure path has no disjoint alternatives: lb+ == lb.
+        g = uncertain_path([0.7, 0.7, 0.7])
+        candidates = set(g.nodes())
+        assert verify_lower_bound_packing(
+            g, [0], 0.4, candidates
+        ) == verify_lower_bound(g, [0], 0.4, candidates)
+
+    def test_validation(self, fig1_graph):
+        with pytest.raises(EmptySourceSetError):
+            verify_lower_bound_packing(fig1_graph, [], 0.5, {0})
+        with pytest.raises(ValueError):
+            verify_lower_bound_packing(
+                fig1_graph, [0], 0.5, {0}, max_paths=0
+            )
+
+
+class TestEngineLbPlus:
+    def test_engine_method(self, fig1_graph, fig1_names):
+        engine = RQTreeEngine.build(fig1_graph, seed=0)
+        result = engine.query(fig1_names["s"], 0.6, method="lb+")
+        assert fig1_names["u"] in result.nodes
+
+    def test_answer_between_lb_and_exact(self):
+        for seed in range(4):
+            g = uncertain_gnp(7, 0.3, seed=seed)
+            if g.num_arcs > 16 or g.num_arcs == 0:
+                continue
+            engine = RQTreeEngine.build(g, seed=seed)
+            from repro.graph.exact import exact_reliability_search
+
+            truth = exact_reliability_search(g, [0], 0.4)
+            lb = engine.query(0, 0.4, method="lb").nodes
+            lb_plus = engine.query(0, 0.4, method="lb+").nodes
+            assert lb <= lb_plus <= truth
+
+    def test_max_hops_rejected(self, fig1_graph):
+        engine = RQTreeEngine.build(fig1_graph, seed=0)
+        with pytest.raises(ValueError):
+            engine.query(0, 0.5, method="lb+", max_hops=2)
+
+    def test_explain_mentions_method(self, fig1_graph, fig1_names):
+        engine = RQTreeEngine.build(fig1_graph, seed=0)
+        text = engine.query(fig1_names["s"], 0.6, method="lb+").explain()
+        assert "rq-tree-lb+" in text

@@ -1,0 +1,260 @@
+"""Unit tests for the multilevel balanced partitioner (METIS substitute)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.generators import uncertain_grid
+from repro.partition.bipartition import (
+    bisect_uncertain_cluster,
+    multilevel_bisection,
+    random_bisection,
+    ratio_cut_objective,
+)
+from repro.partition.coarsen import coarsen_once, contract, heavy_edge_matching
+from repro.partition.initial import (
+    greedy_growing_bisection,
+    initial_bisection,
+    spectral_bisection,
+)
+from repro.partition.refine import fm_pass, fm_refine
+from repro.partition.wgraph import WeightedUndirectedGraph
+
+
+def _two_cliques(k: int = 6, bridge_weight: float = 0.1):
+    """Two k-cliques joined by one light bridge: the obvious bisection."""
+    g = WeightedUndirectedGraph(2 * k)
+    for base in (0, k):
+        for i in range(k):
+            for j in range(i + 1, k):
+                g.add_edge(base + i, base + j, 1.0)
+    g.add_edge(k - 1, k, bridge_weight)
+    return g
+
+
+def _ring(n: int, weight: float = 1.0):
+    g = WeightedUndirectedGraph(n)
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, weight)
+    return g
+
+
+class TestWeightedGraph:
+    def test_edges_accumulate(self):
+        g = WeightedUndirectedGraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 0, 0.5)
+        assert g.adjacency[0][1] == pytest.approx(1.5)
+        assert g.adjacency[1][0] == pytest.approx(1.5)
+
+    def test_self_loops_ignored(self):
+        g = WeightedUndirectedGraph(2)
+        g.add_edge(1, 1, 3.0)
+        assert not g.adjacency[1]
+
+    def test_negative_weight_rejected(self):
+        g = WeightedUndirectedGraph(2)
+        with pytest.raises(PartitionError):
+            g.add_edge(0, 1, -1.0)
+
+    def test_node_weights_default_to_one(self):
+        g = WeightedUndirectedGraph(4)
+        assert g.total_node_weight() == 4
+
+    def test_node_weight_length_checked(self):
+        with pytest.raises(PartitionError):
+            WeightedUndirectedGraph(3, [1, 2])
+
+    def test_cut_weight(self):
+        g = _two_cliques(4, bridge_weight=0.25)
+        side = [True] * 4 + [False] * 4
+        assert g.cut_weight(side) == pytest.approx(0.25)
+
+    def test_degree_weight(self):
+        g = WeightedUndirectedGraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 2.0)
+        assert g.degree_weight(0) == pytest.approx(3.0)
+
+
+class TestCoarsening:
+    def test_matching_is_symmetric(self):
+        g = _two_cliques()
+        mate = heavy_edge_matching(g, random.Random(0))
+        for u, v in enumerate(mate):
+            assert mate[v] == u
+
+    def test_matching_prefers_heavy_edges(self):
+        g = WeightedUndirectedGraph(3)
+        g.add_edge(0, 1, 10.0)
+        g.add_edge(0, 2, 0.1)
+        mate = heavy_edge_matching(g, random.Random(0))
+        assert mate[0] == 1 and mate[1] == 0
+
+    def test_contract_preserves_node_weight(self):
+        g = _two_cliques()
+        mate = heavy_edge_matching(g, random.Random(1))
+        coarse, projection = contract(g, mate)
+        assert coarse.total_node_weight() == g.total_node_weight()
+        assert len(projection) == g.num_nodes
+        assert max(projection) == coarse.num_nodes - 1
+
+    def test_contract_accumulates_cross_edges(self):
+        g = WeightedUndirectedGraph(4)
+        g.add_edge(0, 1, 5.0)  # will be matched
+        g.add_edge(2, 3, 5.0)  # will be matched
+        g.add_edge(0, 2, 1.0)
+        g.add_edge(1, 3, 1.0)
+        mate = [1, 0, 3, 2]
+        coarse, projection = contract(g, mate)
+        assert coarse.num_nodes == 2
+        a, b = projection[0], projection[2]
+        assert coarse.adjacency[a][b] == pytest.approx(2.0)
+
+    def test_coarsen_once_stops_on_edgeless_graph(self):
+        g = WeightedUndirectedGraph(10)
+        assert coarsen_once(g, random.Random(0)) is None
+
+    def test_coarsen_shrinks(self):
+        g = _ring(64)
+        coarse, _ = coarsen_once(g, random.Random(0))
+        assert coarse.num_nodes < 64
+
+
+class TestInitialBisection:
+    def test_greedy_growing_splits_cliques(self):
+        g = _two_cliques()
+        side = greedy_growing_bisection(g, random.Random(0), num_seeds=6)
+        first = {u for u in range(g.num_nodes) if side[u]}
+        assert first in ({0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11})
+
+    def test_spectral_splits_cliques(self):
+        g = _two_cliques()
+        side = spectral_bisection(g)
+        assert side is not None
+        first = {u for u in range(g.num_nodes) if side[u]}
+        assert first in ({0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11})
+
+    def test_spectral_declines_tiny_graphs(self):
+        g = WeightedUndirectedGraph(2)
+        g.add_edge(0, 1, 1.0)
+        assert spectral_bisection(g) is None
+
+    def test_initial_bisection_is_balanced(self):
+        g = _ring(32)
+        side = initial_bisection(g, random.Random(0), max_imbalance=0.1)
+        ones = sum(side)
+        assert 12 <= ones <= 20
+
+    def test_handles_disconnected_graph(self):
+        g = WeightedUndirectedGraph(8)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)  # nodes 4-7 isolated
+        side = greedy_growing_bisection(g, random.Random(0))
+        assert any(side) and not all(side)
+
+
+class TestFMRefinement:
+    def test_pass_improves_bad_split(self):
+        g = _two_cliques()
+        # Worst-case split: half of each clique on each side.
+        side = [i % 2 == 0 for i in range(g.num_nodes)]
+        before = g.cut_weight(side)
+        improvement = fm_pass(g, side, max_imbalance=0.1)
+        after = g.cut_weight(side)
+        assert improvement >= 0.0
+        assert after <= before
+
+    def test_refine_reaches_optimal_cut_on_cliques(self):
+        g = _two_cliques(5, bridge_weight=0.2)
+        side = [i % 2 == 0 for i in range(g.num_nodes)]
+        fm_refine(g, side, max_imbalance=0.1)
+        assert g.cut_weight(side) == pytest.approx(0.2)
+
+    def test_refine_respects_balance(self):
+        g = _ring(20)
+        side = [u < 10 for u in range(20)]
+        fm_refine(g, side, max_imbalance=0.1)
+        ones = sum(side)
+        assert 8 <= ones <= 12
+
+    def test_no_improvement_on_optimal(self):
+        g = _two_cliques(4, bridge_weight=0.1)
+        side = [u < 4 for u in range(8)]
+        assert fm_pass(g, side, max_imbalance=0.1) == pytest.approx(0.0)
+
+
+class TestMultilevelBisection:
+    def test_trivial_sizes(self):
+        assert multilevel_bisection(WeightedUndirectedGraph(0)) == []
+        assert multilevel_bisection(WeightedUndirectedGraph(1)) == [False]
+        assert multilevel_bisection(WeightedUndirectedGraph(2)) == [True, False]
+
+    def test_two_cliques_found(self):
+        g = _two_cliques(8, bridge_weight=0.05)
+        side = multilevel_bisection(g, seed=3)
+        first = {u for u in range(16) if side[u]}
+        assert first in (set(range(8)), set(range(8, 16)))
+
+    def test_balance_on_large_ring(self):
+        g = _ring(200)
+        side = multilevel_bisection(g, max_imbalance=0.1, seed=1)
+        ones = sum(side)
+        assert 80 <= ones <= 120
+
+    def test_beats_random_bisection_on_structure(self):
+        g = _two_cliques(10, bridge_weight=0.1)
+        rng = random.Random(5)
+        multilevel = multilevel_bisection(g, seed=5)
+        randomized = random_bisection(g, rng)
+        assert ratio_cut_objective(g, multilevel) <= ratio_cut_objective(
+            g, randomized
+        )
+
+    def test_ratio_cut_objective_empty_side_is_inf(self):
+        g = _ring(4)
+        assert ratio_cut_objective(g, [False] * 4) == math.inf
+
+
+class TestBisectUncertainCluster:
+    def test_splits_cover_cluster(self, grid_graph):
+        cluster = list(range(grid_graph.num_nodes))
+        first, second = bisect_uncertain_cluster(grid_graph, cluster, seed=0)
+        assert first | second == set(cluster)
+        assert not first & second
+        assert first and second
+
+    def test_subcluster_bisection(self, grid_graph):
+        cluster = list(range(12))
+        first, second = bisect_uncertain_cluster(grid_graph, cluster, seed=0)
+        assert first | second == set(cluster)
+
+    def test_balanced_split(self, grid_graph):
+        cluster = list(range(grid_graph.num_nodes))
+        first, second = bisect_uncertain_cluster(grid_graph, cluster, seed=0)
+        assert abs(len(first) - len(second)) <= 0.3 * len(cluster)
+
+    def test_random_strategy(self, grid_graph):
+        cluster = list(range(grid_graph.num_nodes))
+        first, second = bisect_uncertain_cluster(
+            grid_graph, cluster, seed=0, strategy="random"
+        )
+        assert first | second == set(cluster)
+
+    def test_unknown_strategy_rejected(self, grid_graph):
+        with pytest.raises(PartitionError):
+            bisect_uncertain_cluster(
+                grid_graph, [0, 1], strategy="kmeans"
+            )
+
+    def test_tiny_cluster_rejected(self, grid_graph):
+        with pytest.raises(PartitionError):
+            bisect_uncertain_cluster(grid_graph, [0])
+
+    def test_two_node_cluster(self, grid_graph):
+        first, second = bisect_uncertain_cluster(grid_graph, [0, 1], seed=0)
+        assert {min(first), min(second)} | first | second == {0, 1}

@@ -1,0 +1,177 @@
+"""Property-based tests for the partitioner and flow substrate."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.flow.dinic import dinic_max_flow
+from repro.flow.mincut import min_cut_arcs, multi_terminal_max_flow
+from repro.flow.network import FlowNetwork
+from repro.partition.coarsen import coarsen_once, contract, heavy_edge_matching
+from repro.partition.refine import fm_pass, fm_refine
+from repro.partition.wgraph import WeightedUndirectedGraph
+
+COMMON = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def weighted_graphs(draw, max_nodes=12, max_edges=30):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+            ),
+            max_size=max_edges,
+        )
+    )
+    g = WeightedUndirectedGraph(n)
+    for u, v, w in edges:
+        if u != v:
+            g.add_edge(u, v, w)
+    return g
+
+
+# ---------------------------------------------------------------------
+# Matching / contraction invariants
+# ---------------------------------------------------------------------
+@COMMON
+@given(weighted_graphs(), st.integers(0, 10))
+def test_matching_is_involution(g, seed):
+    mate = heavy_edge_matching(g, random.Random(seed))
+    for u, v in enumerate(mate):
+        assert mate[v] == u
+
+
+@COMMON
+@given(weighted_graphs(), st.integers(0, 10))
+def test_matched_pairs_are_adjacent(g, seed):
+    mate = heavy_edge_matching(g, random.Random(seed))
+    for u, v in enumerate(mate):
+        if v != u:
+            assert v in g.adjacency[u]
+
+
+@COMMON
+@given(weighted_graphs(), st.integers(0, 10))
+def test_contraction_preserves_total_node_weight(g, seed):
+    mate = heavy_edge_matching(g, random.Random(seed))
+    coarse, projection = contract(g, mate)
+    assert coarse.total_node_weight() == g.total_node_weight()
+    assert len(projection) == g.num_nodes
+    assert set(projection) == set(range(coarse.num_nodes))
+
+
+@COMMON
+@given(weighted_graphs(), st.integers(0, 10))
+def test_contraction_preserves_cut_weights(g, seed):
+    # Any coarse bipartition lifts to a fine bipartition with the same
+    # cut weight — the invariant the multilevel scheme rests on.
+    mate = heavy_edge_matching(g, random.Random(seed))
+    coarse, projection = contract(g, mate)
+    if coarse.num_nodes < 2:
+        return
+    rng = random.Random(seed)
+    coarse_side = [rng.random() < 0.5 for _ in range(coarse.num_nodes)]
+    fine_side = [coarse_side[projection[u]] for u in range(g.num_nodes)]
+    assert math.isclose(
+        coarse.cut_weight(coarse_side),
+        g.cut_weight(fine_side),
+        rel_tol=1e-9,
+        abs_tol=1e-9,
+    )
+
+
+# ---------------------------------------------------------------------
+# FM refinement invariants
+# ---------------------------------------------------------------------
+@COMMON
+@given(weighted_graphs(), st.integers(0, 10))
+def test_fm_pass_never_worsens_cut(g, seed):
+    rng = random.Random(seed)
+    side = [rng.random() < 0.5 for _ in range(g.num_nodes)]
+    before = g.cut_weight(side)
+    fm_pass(g, side, max_imbalance=0.3)
+    after = g.cut_weight(side)
+    assert after <= before + 1e-9
+
+
+@COMMON
+@given(weighted_graphs(), st.integers(0, 10))
+def test_fm_refine_respects_balance_window(g, seed):
+    n = g.num_nodes
+    # Start from a perfectly balanced split.
+    side = [u < n // 2 for u in range(n)]
+    total = g.total_node_weight()
+    before = sum(g.node_weight[u] for u in range(n) if side[u])
+    if not (0.3 * total <= before <= 0.7 * total):
+        return
+    fm_refine(g, side, max_imbalance=0.2)
+    weight_true = sum(g.node_weight[u] for u in range(n) if side[u])
+    assert 0.3 * total - 1e-9 <= weight_true <= 0.7 * total + 1e-9
+
+
+# ---------------------------------------------------------------------
+# Flow duality
+# ---------------------------------------------------------------------
+@COMMON
+@given(
+    st.integers(3, 8),
+    st.lists(
+        st.tuples(
+            st.integers(0, 7),
+            st.integers(0, 7),
+            st.floats(min_value=0.1, max_value=4.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+)
+def test_max_flow_equals_extracted_cut_weight(n, raw_edges):
+    edges = [(u % n, v % n, c) for u, v, c in raw_edges if u % n != v % n]
+    if not edges:
+        return
+    value, network, s0, _ = multi_terminal_max_flow(n, edges, [0], [n - 1])
+    if math.isinf(value):
+        return
+    cut = min_cut_arcs(network, s0, edges)
+    assert math.isclose(
+        value, sum(c for _, _, c in cut), rel_tol=1e-9, abs_tol=1e-9
+    )
+
+
+@COMMON
+@given(
+    st.integers(3, 8),
+    st.lists(
+        st.tuples(
+            st.integers(0, 7),
+            st.integers(0, 7),
+            st.floats(min_value=0.1, max_value=4.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    st.floats(min_value=0.5, max_value=2.0),
+)
+def test_max_flow_scales_linearly_with_capacities(n, raw_edges, factor):
+    edges = [(u % n, v % n, c) for u, v, c in raw_edges if u % n != v % n]
+    if not edges:
+        return
+    net_a = FlowNetwork(n)
+    net_b = FlowNetwork(n)
+    for u, v, c in edges:
+        net_a.add_edge(u, v, c)
+        net_b.add_edge(u, v, c * factor)
+    flow_a = dinic_max_flow(net_a, 0, n - 1)
+    flow_b = dinic_max_flow(net_b, 0, n - 1)
+    assert math.isclose(flow_b, flow_a * factor, rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,135 @@
+"""Unit tests for most-likely-path computations (Theorem 4 machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import UncertainGraph
+from repro.errors import NodeNotFoundError
+from repro.graph.exact import exact_reliability
+from repro.graph.generators import uncertain_gnp, uncertain_path
+from repro.graph.paths import (
+    distance_to_prob,
+    most_likely_path,
+    most_likely_path_probabilities,
+    prob_to_distance,
+)
+
+
+class TestWeightMapping:
+    def test_round_trip(self):
+        for p in [0.1, 0.5, 0.99, 1.0]:
+            assert distance_to_prob(prob_to_distance(p)) == pytest.approx(p)
+
+    def test_probability_one_maps_to_zero_weight(self):
+        assert prob_to_distance(1.0) == 0.0
+
+    def test_infinite_distance_is_zero_probability(self):
+        assert distance_to_prob(math.inf) == 0.0
+
+
+class TestMostLikelyPathProbabilities:
+    def test_path_graph_products(self):
+        g = uncertain_path([0.9, 0.8, 0.7])
+        probs = most_likely_path_probabilities(g, [0])
+        assert probs[0] == pytest.approx(1.0)
+        assert probs[1] == pytest.approx(0.9)
+        assert probs[2] == pytest.approx(0.72)
+        assert probs[3] == pytest.approx(0.504)
+
+    def test_picks_the_better_of_two_routes(self):
+        g = UncertainGraph(4)
+        g.add_arc(0, 1, 0.9)
+        g.add_arc(1, 3, 0.9)   # product 0.81
+        g.add_arc(0, 2, 0.5)
+        g.add_arc(2, 3, 0.99)  # product 0.495
+        probs = most_likely_path_probabilities(g, [0])
+        assert probs[3] == pytest.approx(0.81)
+
+    def test_direct_arc_can_lose_to_longer_path(self):
+        g = UncertainGraph(3)
+        g.add_arc(0, 2, 0.4)
+        g.add_arc(0, 1, 0.9)
+        g.add_arc(1, 2, 0.9)
+        probs = most_likely_path_probabilities(g, [0])
+        assert probs[2] == pytest.approx(0.81)
+
+    def test_unreachable_nodes_omitted(self):
+        g = UncertainGraph(3)
+        g.add_arc(0, 1, 0.5)
+        probs = most_likely_path_probabilities(g, [0])
+        assert 2 not in probs
+
+    def test_multi_source_takes_best_source(self):
+        g = UncertainGraph(4)
+        g.add_arc(0, 2, 0.3)
+        g.add_arc(1, 2, 0.8)
+        probs = most_likely_path_probabilities(g, [0, 1])
+        assert probs[2] == pytest.approx(0.8)
+
+    def test_allowed_restriction_blocks_paths(self):
+        g = uncertain_path([0.9, 0.9])
+        probs = most_likely_path_probabilities(g, [0], allowed={0, 2})
+        # Node 1 is excluded, so node 2 becomes unreachable.
+        assert 2 not in probs
+        assert 1 not in probs
+
+    def test_min_probability_cutoff(self):
+        g = uncertain_path([0.9, 0.5, 0.5])
+        probs = most_likely_path_probabilities(g, [0], min_probability=0.4)
+        assert probs[1] == pytest.approx(0.9)
+        assert probs[2] == pytest.approx(0.45)
+        assert 3 not in probs  # 0.225 < 0.4
+
+    def test_is_lower_bound_on_reliability(self):
+        # Theorem 4: L_R(S, t) <= R(S, t) on random small graphs.
+        for seed in range(5):
+            g = uncertain_gnp(6, 0.3, seed=seed)
+            if g.num_arcs > 16 or g.num_arcs == 0:
+                continue
+            probs = most_likely_path_probabilities(g, [0])
+            for t, lower in probs.items():
+                true = exact_reliability(g, [0], t)
+                assert lower <= true + 1e-9
+
+    def test_missing_source_raises(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(NodeNotFoundError):
+            most_likely_path_probabilities(g, [7])
+
+
+class TestMostLikelyPathRecovery:
+    def test_path_nodes_returned(self):
+        g = uncertain_path([0.9, 0.8])
+        prob, path = most_likely_path(g, [0], 2)
+        assert prob == pytest.approx(0.72)
+        assert path == [0, 1, 2]
+
+    def test_unreachable_target(self):
+        g = UncertainGraph(3)
+        g.add_arc(0, 1, 0.5)
+        prob, path = most_likely_path(g, [0], 2)
+        assert prob == 0.0
+        assert path == []
+
+    def test_target_is_source(self):
+        g = uncertain_path([0.5])
+        prob, path = most_likely_path(g, [0], 0)
+        assert prob == pytest.approx(1.0)
+        assert path == [0]
+
+    def test_path_probability_matches_product(self):
+        g = uncertain_gnp(8, 0.3, seed=11)
+        prob, path = most_likely_path(g, [0], 5)
+        if path:
+            product = 1.0
+            for u, v in zip(path, path[1:]):
+                product *= g.probability(u, v)
+            assert prob == pytest.approx(product)
+
+    def test_missing_target_raises(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(NodeNotFoundError):
+            most_likely_path(g, [0], 9)

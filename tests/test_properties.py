@@ -1,0 +1,211 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These tests check the paper's theorems as universally-quantified
+properties on randomly generated uncertain graphs:
+
+* Theorem 1/2:  ``R_out(S, C) <= U_out(S, C)`` and the flow-based value
+  agrees with the cut definition.
+* Theorem 4:    ``L_R(S, t) <= R(S, t)``.
+* Theorem 5:    the source-independent bound dominates the flow bound.
+* Observations 1-2 combined: candidate generation never prunes a true
+  answer (the no-false-negative guarantee), and RQ-tree-LB never keeps a
+  false positive.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import UncertainGraph, build_rqtree
+from repro.core.candidates import generate_candidates
+from repro.core.outreach import (
+    general_outreach_upper_bound,
+    outreach_upper_bound,
+)
+from repro.core.verification import verify_lower_bound
+from repro.flow.dinic import dinic_max_flow
+from repro.flow.network import FlowNetwork
+from repro.flow.push_relabel import push_relabel_max_flow
+from repro.graph.exact import (
+    exact_outreach,
+    exact_reliability,
+    exact_reliability_search,
+)
+from repro.graph.io import graph_from_json, graph_to_json
+from repro.graph.paths import most_likely_path_probabilities
+
+# ---------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------
+PROBS = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def small_uncertain_graphs(draw, max_nodes=6, max_arcs=12):
+    """Graphs small enough for the exponential exact oracle."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    arc_count = draw(st.integers(min_value=1, max_value=max_arcs))
+    arcs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1), PROBS
+            ),
+            min_size=1,
+            max_size=arc_count,
+        )
+    )
+    g = UncertainGraph(n)
+    for u, v, p in arcs:
+        if u != v:
+            g.add_arc(u, v, p)
+    return g
+
+
+@st.composite
+def flow_networks(draw, max_nodes=8, max_edges=16):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            ),
+            max_size=max_edges,
+        )
+    )
+    return n, [(u, v, c) for u, v, c in edges if u != v]
+
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------
+# Flow properties
+# ---------------------------------------------------------------------
+@COMMON
+@given(flow_networks())
+def test_flow_engines_agree(data):
+    n, edges = data
+    net_a = FlowNetwork(n)
+    net_b = FlowNetwork(n)
+    for u, v, c in edges:
+        net_a.add_edge(u, v, c)
+        net_b.add_edge(u, v, c)
+    a = dinic_max_flow(net_a, 0, n - 1)
+    b = push_relabel_max_flow(net_b, 0, n - 1)
+    assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@COMMON
+@given(flow_networks())
+def test_flow_bounded_by_source_capacity(data):
+    n, edges = data
+    net = FlowNetwork(n)
+    for u, v, c in edges:
+        net.add_edge(u, v, c)
+    out_capacity = sum(c for u, _, c in edges if u == 0)
+    flow = dinic_max_flow(net, 0, n - 1)
+    assert flow <= out_capacity + 1e-9
+
+
+# ---------------------------------------------------------------------
+# Bound sandwiches
+# ---------------------------------------------------------------------
+@COMMON
+@given(small_uncertain_graphs())
+def test_most_likely_path_is_lower_bound(g):
+    probs = most_likely_path_probabilities(g, [0])
+    for t, lower in probs.items():
+        if t == 0:
+            continue
+        assert lower <= exact_reliability(g, [0], t) + 1e-9
+
+
+@COMMON
+@given(small_uncertain_graphs(), st.integers(1, 4))
+def test_outreach_bound_sandwich(g, k):
+    cluster = set(range(min(k, g.num_nodes)))
+    if 0 not in cluster:
+        cluster.add(0)
+    exact = exact_outreach(g, [0], cluster)
+    flow_bound = outreach_upper_bound(g, [0], cluster).upper_bound
+    cheap_bound = general_outreach_upper_bound(g, cluster)
+    assert exact <= flow_bound + 1e-9
+    # The flow bound carries a deliberate +1e-9 relative inflation (see
+    # outreach._inflate), so allow that margin on top of round-off.
+    assert flow_bound <= cheap_bound + 1e-8
+
+
+# ---------------------------------------------------------------------
+# End-to-end guarantees
+# ---------------------------------------------------------------------
+@COMMON
+@given(small_uncertain_graphs(), st.floats(0.1, 0.9))
+def test_candidates_contain_every_true_answer(g, eta):
+    tree, _ = build_rqtree(g, seed=0, validate=False)
+    truth = exact_reliability_search(g, [0], eta)
+    result = generate_candidates(g, tree, [0], eta)
+    assert truth <= result.candidates
+
+
+@COMMON
+@given(small_uncertain_graphs(), st.floats(0.1, 0.9))
+def test_lb_answers_are_always_correct(g, eta):
+    tree, _ = build_rqtree(g, seed=0, validate=False)
+    candidates = generate_candidates(g, tree, [0], eta).candidates
+    answer = verify_lower_bound(g, [0], eta, candidates)
+    for t in answer:
+        assert exact_reliability(g, [0], t) >= eta * (1 - 1e-6)
+
+
+@COMMON
+@given(small_uncertain_graphs(), st.floats(0.1, 0.9))
+def test_multi_source_candidates_contain_truth(g, eta):
+    sources = [0, g.num_nodes - 1]
+    tree, _ = build_rqtree(g, seed=0, validate=False)
+    truth = exact_reliability_search(g, sources, eta)
+    for mode in ("greedy", "exact"):
+        result = generate_candidates(
+            g, tree, sources, eta, multi_source_mode=mode
+        )
+        assert truth <= result.candidates
+
+
+# ---------------------------------------------------------------------
+# Structural round trips
+# ---------------------------------------------------------------------
+@COMMON
+@given(small_uncertain_graphs())
+def test_graph_json_round_trip(g):
+    restored = graph_from_json(graph_to_json(g))
+    assert restored.num_nodes == g.num_nodes
+    assert sorted(restored.arcs()) == sorted(g.arcs())
+
+
+@COMMON
+@given(small_uncertain_graphs())
+def test_rqtree_invariants_on_arbitrary_graphs(g):
+    tree, _ = build_rqtree(g, seed=1)
+    tree.validate()
+    assert tree.num_clusters == 2 * g.num_nodes - 1
+
+
+@COMMON
+@given(small_uncertain_graphs())
+def test_reliability_monotone_under_arc_addition(g):
+    # Adding an arc can only increase any reliability value.
+    target = g.num_nodes - 1
+    before = exact_reliability(g, [0], target)
+    g2 = g.copy()
+    # Add (or strengthen) an arc 0 -> 1.
+    if g.num_nodes >= 2:
+        g2.add_arc(0, 1, 0.5)
+        after = exact_reliability(g2, [0], target)
+        assert after >= before - 1e-9

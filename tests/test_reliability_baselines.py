@@ -1,0 +1,157 @@
+"""Unit tests for the MC-Sampling and RHT-sampling baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    EmptySourceSetError,
+    InvalidThresholdError,
+    NodeNotFoundError,
+)
+from repro.graph.exact import exact_reliability, exact_reliability_search
+from repro.graph.generators import uncertain_gnp, uncertain_path
+from repro.reliability.estimators import make_method_suite
+from repro.reliability.montecarlo import mc_reliability, mc_sampling_search
+from repro.reliability.rht import rht_reliability, rht_reliability_search
+
+
+class TestMCSampling:
+    def test_matches_exact_on_figure1(self, fig1_graph, fig1_names):
+        result = mc_sampling_search(
+            fig1_graph, fig1_names["s"], 0.5, num_samples=4000, seed=1
+        )
+        expected = exact_reliability_search(fig1_graph, [fig1_names["s"]], 0.5)
+        assert result.nodes == expected
+
+    def test_frequency_estimates_reliability(self, fig1_graph, fig1_names):
+        estimate = mc_reliability(
+            fig1_graph, fig1_names["s"], fig1_names["u"],
+            num_samples=5000, seed=2,
+        )
+        assert estimate == pytest.approx(0.65, abs=0.03)
+
+    def test_sources_always_in_answer(self):
+        g = uncertain_path([0.01])
+        result = mc_sampling_search(g, 0, 0.99, num_samples=50, seed=0)
+        assert 0 in result.nodes
+
+    def test_deterministic_given_seed(self, fig1_graph):
+        a = mc_sampling_search(fig1_graph, 0, 0.5, num_samples=300, seed=7)
+        b = mc_sampling_search(fig1_graph, 0, 0.5, num_samples=300, seed=7)
+        assert a.nodes == b.nodes
+        assert a.frequencies == b.frequencies
+
+    def test_result_metadata(self, fig1_graph):
+        result = mc_sampling_search(fig1_graph, 0, 0.5, num_samples=100, seed=0)
+        assert result.num_samples == 100
+        assert result.seconds >= 0.0
+
+    def test_invalid_inputs(self, fig1_graph):
+        with pytest.raises(InvalidThresholdError):
+            mc_sampling_search(fig1_graph, 0, 1.0)
+        with pytest.raises(ValueError):
+            mc_sampling_search(fig1_graph, 0, 0.5, num_samples=0)
+        with pytest.raises(EmptySourceSetError):
+            mc_sampling_search(fig1_graph, [], 0.5)
+
+
+class TestRHTReliability:
+    def test_exact_on_single_path(self):
+        # One path: the factoring decomposition terminates exactly.
+        g = uncertain_path([0.8, 0.5])
+        assert rht_reliability(g, 0, 2, seed=0) == pytest.approx(0.4)
+
+    def test_figure1_value(self, fig1_graph, fig1_names):
+        estimate = rht_reliability(
+            fig1_graph, fig1_names["s"], fig1_names["u"], budget=64, seed=1
+        )
+        assert estimate == pytest.approx(0.65, abs=0.05)
+
+    def test_unreachable_target(self):
+        g = uncertain_path([0.5])
+        g2 = g.copy()
+        extra = g2.add_node()
+        assert rht_reliability(g2, 0, extra, seed=0) == 0.0
+
+    def test_target_in_sources(self):
+        g = uncertain_path([0.5])
+        assert rht_reliability(g, 0, 0) == 1.0
+
+    def test_zero_budget_degenerates_to_mc(self, fig1_graph, fig1_names):
+        estimate = rht_reliability(
+            fig1_graph,
+            fig1_names["s"],
+            fig1_names["u"],
+            budget=0,
+            fallback_samples=3000,
+            seed=5,
+        )
+        assert estimate == pytest.approx(0.65, abs=0.05)
+
+    def test_estimates_close_to_exact_on_random_graphs(self):
+        for seed in range(4):
+            g = uncertain_gnp(6, 0.3, seed=seed)
+            if g.num_arcs > 16 or g.num_arcs == 0:
+                continue
+            for target in range(1, 4):
+                exact = exact_reliability(g, [0], target)
+                estimate = rht_reliability(
+                    g, 0, target, budget=128, fallback_samples=200, seed=seed
+                )
+                assert estimate == pytest.approx(exact, abs=0.08)
+
+    def test_missing_nodes_rejected(self, fig1_graph):
+        with pytest.raises(NodeNotFoundError):
+            rht_reliability(fig1_graph, 99, 0)
+        with pytest.raises(NodeNotFoundError):
+            rht_reliability(fig1_graph, 0, 99)
+
+
+class TestRHTSearch:
+    def test_matches_exact_on_figure1(self, fig1_graph, fig1_names):
+        result = rht_reliability_search(
+            fig1_graph, fig1_names["s"], 0.5,
+            budget=64, fallback_samples=400, seed=3,
+        )
+        expected = exact_reliability_search(fig1_graph, [fig1_names["s"]], 0.5)
+        assert result.nodes == expected
+
+    def test_reliabilities_reported_per_node(self, fig1_graph):
+        result = rht_reliability_search(fig1_graph, 0, 0.5, seed=0)
+        assert set(result.reliabilities) == set(range(5))
+        assert result.reliabilities[0] == 1.0
+
+    def test_invalid_eta(self, fig1_graph):
+        with pytest.raises(InvalidThresholdError):
+            rht_reliability_search(fig1_graph, 0, 0.0)
+
+
+class TestMethodSuite:
+    def test_suite_keys(self, medium_engine):
+        suite = make_method_suite(medium_engine, num_samples=50, seed=0)
+        assert set(suite) == {"rq-tree-lb", "rq-tree-mc", "mc-sampling"}
+
+    def test_suite_with_rht(self, medium_engine):
+        suite = make_method_suite(medium_engine, include_rht=True)
+        assert "rht-sampling" in suite
+
+    def test_methods_answer_queries(self, medium_engine):
+        suite = make_method_suite(medium_engine, num_samples=50, seed=0)
+        for name, method in suite.items():
+            answer = method(medium_engine.graph, [0], 0.6)
+            assert 0 in answer, name
+
+
+class TestMethodSuiteLbPlus:
+    def test_lb_plus_opt_in(self, medium_engine):
+        suite = make_method_suite(medium_engine, include_lb_plus=True)
+        assert "rq-tree-lb+" in suite
+        answer = suite["rq-tree-lb+"](medium_engine.graph, [0], 0.6)
+        assert 0 in answer
+
+    def test_lb_plus_superset_of_lb(self, medium_engine):
+        suite = make_method_suite(medium_engine, include_lb_plus=True)
+        lb = suite["rq-tree-lb"](medium_engine.graph, [0], 0.5)
+        lb_plus = suite["rq-tree-lb+"](medium_engine.graph, [0], 0.5)
+        assert lb <= lb_plus

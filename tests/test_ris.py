@@ -1,0 +1,110 @@
+"""Tests for reverse-influence-sampling influence maximization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UncertainGraph, expected_spread_mc
+from repro.graph.generators import lastfm_like, uncertain_path
+from repro.influence.ris import (
+    RRSketch,
+    build_rr_sketch,
+    ris_influence_maximization,
+)
+
+
+class TestRRSketch:
+    def test_empty_sketch_estimates_zero(self):
+        sketch = RRSketch(num_nodes=10)
+        assert sketch.spread_estimate([0]) == 0.0
+
+    def test_membership_index(self):
+        sketch = RRSketch(num_nodes=4)
+        sketch.add({0, 1})
+        sketch.add({1, 2})
+        assert sketch.membership[1] == [0, 1]
+        assert sketch.membership[0] == [0]
+        assert sketch.size == 2
+
+    def test_spread_estimate_counts_coverage(self):
+        sketch = RRSketch(num_nodes=10)
+        sketch.add({0, 1})
+        sketch.add({2})
+        sketch.add({3})
+        # Seed 1 covers 1 of 3 sets: estimate = 10 * 1/3.
+        assert sketch.spread_estimate([1]) == pytest.approx(10 / 3)
+        # Seeds {1, 2} cover 2 of 3.
+        assert sketch.spread_estimate([1, 2]) == pytest.approx(20 / 3)
+
+    def test_rr_sets_of_deterministic_path(self):
+        # 0 -> 1 -> 2 with p = 1: the RR set of target 2 is {0, 1, 2}.
+        g = uncertain_path([1.0, 1.0])
+        sketch = build_rr_sketch(g, num_sets=30, seed=0)
+        for rr in sketch.rr_sets:
+            # Every RR set is a suffix-closed ancestor set on the path.
+            assert rr in ({0}, {0, 1}, {0, 1, 2})
+
+    def test_spread_estimate_is_unbiased(self):
+        g = lastfm_like(n=200, seed=4)
+        sketch = build_rr_sketch(g, num_sets=6000, seed=1)
+        seeds = [0, 5]
+        estimate = sketch.spread_estimate(seeds)
+        truth = expected_spread_mc(g, seeds, num_samples=3000, seed=2)
+        assert estimate == pytest.approx(truth, rel=0.25, abs=1.0)
+
+    def test_invalid_inputs(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(ValueError):
+            build_rr_sketch(g, num_sets=0)
+        with pytest.raises(ValueError):
+            build_rr_sketch(UncertainGraph(0), num_sets=5)
+
+
+class TestRISSelection:
+    def test_picks_obvious_influencer(self):
+        # A star: node 0 influences everyone with certainty.
+        g = UncertainGraph(6)
+        for v in range(1, 6):
+            g.add_arc(0, v, 1.0)
+        seeds, estimate = ris_influence_maximization(
+            g, 1, num_sets=500, seed=0
+        )
+        assert seeds == [0]
+        assert estimate == pytest.approx(6.0, abs=0.5)
+
+    def test_seed_count_respected(self):
+        g = lastfm_like(n=100, seed=1)
+        seeds, _ = ris_influence_maximization(g, 4, num_sets=1000, seed=0)
+        assert len(seeds) == 4
+        assert len(set(seeds)) == 4
+
+    def test_prebuilt_sketch_reused(self):
+        g = lastfm_like(n=100, seed=1)
+        sketch = build_rr_sketch(g, num_sets=1000, seed=3)
+        seeds_a, _ = ris_influence_maximization(g, 2, sketch=sketch)
+        seeds_b, _ = ris_influence_maximization(g, 2, sketch=sketch)
+        assert seeds_a == seeds_b
+
+    def test_spread_competitive_with_mc_greedy(self):
+        from repro.influence.greedy import greedy_mc
+
+        g = lastfm_like(n=250, seed=7)
+        ris_seeds, _ = ris_influence_maximization(g, 3, num_sets=4000, seed=0)
+        mc_trace = greedy_mc(g, 3, num_samples=300, seed=0)
+        ris_spread = expected_spread_mc(g, ris_seeds, num_samples=1500, seed=9)
+        mc_spread = expected_spread_mc(
+            g, mc_trace.seeds, num_samples=1500, seed=9
+        )
+        assert ris_spread >= 0.75 * mc_spread
+
+    def test_k_larger_than_useful(self):
+        # Two-node graph: after both nodes are chosen, selection stops.
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 0.5)
+        seeds, _ = ris_influence_maximization(g, 10, num_sets=200, seed=0)
+        assert len(seeds) <= 2
+
+    def test_invalid_k(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(ValueError):
+            ris_influence_maximization(g, 0)

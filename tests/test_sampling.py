@@ -1,0 +1,131 @@
+"""Unit tests for possible-world sampling."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import UncertainGraph
+from repro.graph.exact import exact_reliability
+from repro.graph.generators import figure1_graph, uncertain_path
+from repro.graph.sampling import (
+    ReachabilityFrequencyEstimator,
+    WorldSampler,
+    sample_reachable,
+)
+
+
+class TestWorldSampler:
+    def test_deterministic_given_seed(self, fig1_graph):
+        a = WorldSampler(fig1_graph, seed=5)
+        b = WorldSampler(fig1_graph, seed=5)
+        for _ in range(10):
+            assert a.sample_world() == b.sample_world()
+
+    def test_worlds_are_subsets_of_arcs(self, fig1_graph):
+        arcs = {(u, v) for u, v, _ in fig1_graph.arcs()}
+        sampler = WorldSampler(fig1_graph, seed=1)
+        for world in sampler.worlds(20):
+            assert set(world) <= arcs
+
+    def test_certain_arcs_always_present(self):
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 1.0)
+        sampler = WorldSampler(g, seed=0)
+        for world in sampler.worlds(10):
+            assert (0, 1) in world
+
+    def test_arc_frequency_matches_probability(self):
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 0.3)
+        sampler = WorldSampler(g, seed=3)
+        hits = sum(1 for world in sampler.worlds(4000) if world)
+        assert hits / 4000 == pytest.approx(0.3, abs=0.03)
+
+    def test_adjacency_representation(self, fig1_graph):
+        sampler = WorldSampler(fig1_graph, seed=2)
+        adjacency = sampler.sample_world_adjacency()
+        assert len(adjacency) == fig1_graph.num_nodes
+        for u, nbrs in enumerate(adjacency):
+            for v in nbrs:
+                assert fig1_graph.has_arc(u, v)
+
+
+class TestSampleReachable:
+    def test_sources_always_included(self, fig1_graph):
+        rng = random.Random(0)
+        reached = sample_reachable(fig1_graph, [0], rng)
+        assert 0 in reached
+
+    def test_deterministic_arcs_always_traversed(self):
+        g = uncertain_path([1.0, 1.0, 1.0])
+        rng = random.Random(0)
+        assert sample_reachable(g, [0], rng) == {0, 1, 2, 3}
+
+    def test_allowed_restriction(self):
+        g = uncertain_path([1.0, 1.0, 1.0])
+        rng = random.Random(0)
+        assert sample_reachable(g, [0], rng, allowed={0, 1}) == {0, 1}
+
+    def test_lazy_frequency_matches_reliability(self, fig1_graph, fig1_names):
+        # The lazy BFS sampler must estimate R(s, u) = 0.65 (Example 1).
+        rng = random.Random(7)
+        hits = 0
+        trials = 4000
+        for _ in range(trials):
+            if fig1_names["u"] in sample_reachable(
+                fig1_graph, [fig1_names["s"]], rng
+            ):
+                hits += 1
+        assert hits / trials == pytest.approx(0.65, abs=0.03)
+
+
+class TestReachabilityFrequencyEstimator:
+    def test_empty_before_running(self, fig1_graph):
+        est = ReachabilityFrequencyEstimator(fig1_graph, [0], seed=0)
+        assert est.frequencies() == {}
+        assert est.nodes_above(0.5) == set()
+        assert est.num_worlds == 0
+
+    def test_incremental_runs_accumulate(self, fig1_graph):
+        est = ReachabilityFrequencyEstimator(fig1_graph, [0], seed=0)
+        est.run(10).run(15)
+        assert est.num_worlds == 25
+
+    def test_source_frequency_is_one(self, fig1_graph):
+        est = ReachabilityFrequencyEstimator(fig1_graph, [0], seed=0)
+        est.run(50)
+        assert est.frequencies()[0] == pytest.approx(1.0)
+
+    def test_matches_exact_on_figure1(self, fig1_graph, fig1_names):
+        est = ReachabilityFrequencyEstimator(
+            fig1_graph, [fig1_names["s"]], seed=11
+        )
+        est.run(5000)
+        freq = est.frequencies()
+        for name in ["u", "v", "w", "t"]:
+            node = fig1_names[name]
+            exact = exact_reliability(fig1_graph, [fig1_names["s"]], node)
+            assert freq.get(node, 0.0) == pytest.approx(exact, abs=0.03)
+
+    def test_nodes_above_uses_inclusive_threshold(self):
+        g = uncertain_path([1.0])
+        est = ReachabilityFrequencyEstimator(g, [0], seed=0)
+        est.run(10)
+        # Node 1 reached in all 10 worlds; eta = 1.0 is outside the valid
+        # query range but the estimator itself accepts it inclusively.
+        assert est.nodes_above(1.0) == {0, 1}
+
+    def test_determinism_with_seed(self, fig1_graph):
+        a = ReachabilityFrequencyEstimator(fig1_graph, [0], seed=9).run(200)
+        b = ReachabilityFrequencyEstimator(fig1_graph, [0], seed=9).run(200)
+        assert a.frequencies() == b.frequencies()
+
+    def test_allowed_restriction_respected(self, fig1_graph, fig1_names):
+        allowed = {fig1_names["s"], fig1_names["w"]}
+        est = ReachabilityFrequencyEstimator(
+            fig1_graph, [fig1_names["s"]], seed=0, allowed=allowed
+        )
+        est.run(100)
+        assert set(est.frequencies()) <= allowed

@@ -1,0 +1,144 @@
+"""Tests for graph statistics and bootstrap confidence intervals."""
+
+from __future__ import annotations
+
+import statistics as st
+
+import pytest
+
+from repro import UncertainGraph
+from repro.eval.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_mean,
+    bootstrap_statistic,
+)
+from repro.graph.generators import uncertain_path
+from repro.graph.statistics import (
+    degree_histogram,
+    expected_num_arcs,
+    expected_out_degree,
+    probability_histogram,
+    summarize,
+)
+
+
+class TestDegreeHistogram:
+    def test_out_direction(self, fig1_graph):
+        histogram = degree_histogram(fig1_graph, "out")
+        assert sum(histogram.values()) == fig1_graph.num_nodes
+        assert sum(d * c for d, c in histogram.items()) == fig1_graph.num_arcs
+
+    def test_in_direction(self, fig1_graph):
+        histogram = degree_histogram(fig1_graph, "in")
+        assert sum(d * c for d, c in histogram.items()) == fig1_graph.num_arcs
+
+    def test_total_direction(self, fig1_graph):
+        histogram = degree_histogram(fig1_graph, "total")
+        assert sum(d * c for d, c in histogram.items()) == 2 * fig1_graph.num_arcs
+
+    def test_invalid_direction(self, fig1_graph):
+        with pytest.raises(ValueError):
+            degree_histogram(fig1_graph, "sideways")
+
+
+class TestProbabilityHistogram:
+    def test_bins_cover_all_arcs(self, fig1_graph):
+        bins = probability_histogram(fig1_graph, num_bins=5)
+        assert sum(count for _, _, count in bins) == fig1_graph.num_arcs
+        assert len(bins) == 5
+
+    def test_probability_one_lands_in_last_bin(self):
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 1.0)
+        bins = probability_histogram(g, num_bins=4)
+        assert bins[-1][2] == 1
+
+    def test_invalid_bins(self, fig1_graph):
+        with pytest.raises(ValueError):
+            probability_histogram(fig1_graph, num_bins=0)
+
+
+class TestExpectedMeasures:
+    def test_expected_arcs(self):
+        g = uncertain_path([0.25, 0.75])
+        assert expected_num_arcs(g) == pytest.approx(1.0)
+
+    def test_expected_out_degree(self):
+        g = uncertain_path([0.25, 0.75])
+        assert expected_out_degree(g) == pytest.approx(1.0 / 3)
+
+    def test_empty_graph(self):
+        assert expected_out_degree(UncertainGraph(0)) == 0.0
+
+
+class TestSummarize:
+    def test_figure1_summary(self, fig1_graph):
+        summary = summarize(fig1_graph)
+        assert summary.num_nodes == 5
+        assert summary.num_arcs == 8
+        assert 0.0 < summary.mean_probability < 1.0
+        assert summary.isolated_nodes == 0
+        # Exactly the v <-> t pair is reciprocal: 2 of 8 arcs.
+        assert summary.reciprocity == pytest.approx(0.25)
+
+    def test_empty_graph_summary(self):
+        summary = summarize(UncertainGraph(3))
+        assert summary.num_arcs == 0
+        assert summary.mean_probability == 0.0
+        assert summary.isolated_nodes == 3
+
+    def test_median_even_count(self):
+        g = UncertainGraph(3)
+        g.add_arc(0, 1, 0.2)
+        g.add_arc(1, 2, 0.8)
+        assert summarize(g).median_probability == pytest.approx(0.5)
+
+    def test_as_rows(self, fig1_graph):
+        rows = summarize(fig1_graph).as_rows()
+        assert ("nodes", 5) in rows
+
+
+class TestBootstrap:
+    def test_point_estimate_is_sample_mean(self):
+        ci = bootstrap_mean([1.0, 2.0, 3.0], seed=0)
+        assert ci.estimate == pytest.approx(2.0)
+
+    def test_interval_brackets_estimate(self):
+        ci = bootstrap_mean([1.0, 5.0, 2.0, 4.0, 3.0], seed=1)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_constant_sample_collapses(self):
+        ci = bootstrap_mean([2.0] * 10, seed=0)
+        assert ci.low == ci.high == 2.0
+        assert ci.width == 0.0
+
+    def test_contains(self):
+        ci = ConfidenceInterval(estimate=2.0, low=1.0, high=3.0, confidence=0.95)
+        assert ci.contains(2.5)
+        assert not ci.contains(4.0)
+
+    def test_deterministic_with_seed(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        a = bootstrap_mean(values, seed=9)
+        b = bootstrap_mean(values, seed=9)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_higher_confidence_widens_interval(self):
+        values = [1.0, 4.0, 2.0, 8.0, 3.0, 7.0, 5.0]
+        narrow = bootstrap_mean(values, confidence=0.5, seed=2)
+        wide = bootstrap_mean(values, confidence=0.99, seed=2)
+        assert wide.width >= narrow.width
+
+    def test_custom_statistic(self):
+        ci = bootstrap_statistic(
+            [1.0, 2.0, 100.0], st.median, seed=0
+        )
+        assert ci.estimate == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([])
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], num_resamples=0)

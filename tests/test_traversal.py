@@ -1,0 +1,138 @@
+"""Unit tests for deterministic traversals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UncertainGraph
+from repro.graph.generators import uncertain_cycle, uncertain_gnp, uncertain_path
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_layers,
+    bfs_reachable,
+    estimate_diameter,
+    induced_ball,
+    reachable_within,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+
+
+@pytest.fixture()
+def diamond():
+    """0 -> {1, 2} -> 3, plus isolated node 4."""
+    g = UncertainGraph(5)
+    g.add_arc(0, 1, 0.5)
+    g.add_arc(0, 2, 0.5)
+    g.add_arc(1, 3, 0.5)
+    g.add_arc(2, 3, 0.5)
+    return g
+
+
+class TestBfsReachable:
+    def test_single_source(self, diamond):
+        assert bfs_reachable(diamond, [0]) == {0, 1, 2, 3}
+
+    def test_direction_respected(self, diamond):
+        assert bfs_reachable(diamond, [3]) == {3}
+
+    def test_multi_source_union(self, diamond):
+        assert bfs_reachable(diamond, [1, 2]) == {1, 2, 3}
+
+    def test_allowed_restriction(self, diamond):
+        assert bfs_reachable(diamond, [0], allowed={0, 1}) == {0, 1}
+
+    def test_source_outside_allowed_is_skipped(self, diamond):
+        assert bfs_reachable(diamond, [0], allowed={1, 2}) == set()
+
+    def test_duplicate_sources(self, diamond):
+        assert bfs_reachable(diamond, [0, 0, 0]) == {0, 1, 2, 3}
+
+    def test_isolated_node(self, diamond):
+        assert bfs_reachable(diamond, [4]) == {4}
+
+
+class TestBfsLayers:
+    def test_layer_structure(self, diamond):
+        layers = bfs_layers(diamond, [0])
+        assert layers[0] == [0]
+        assert sorted(layers[1]) == [1, 2]
+        assert layers[2] == [3]
+
+    def test_distances_match_layers(self, diamond):
+        assert bfs_distances(diamond, [0]) == {0: 0, 1: 1, 2: 1, 3: 2}
+
+    def test_reachable_within_bounds_hops(self, diamond):
+        assert reachable_within(diamond, [0], 0) == {0}
+        assert reachable_within(diamond, [0], 1) == {0, 1, 2}
+        assert reachable_within(diamond, [0], 5) == {0, 1, 2, 3}
+
+
+class TestComponents:
+    def test_weak_components(self, diamond):
+        components = weakly_connected_components(diamond)
+        as_sets = sorted(components, key=len)
+        assert as_sets[0] == {4}
+        assert as_sets[1] == {0, 1, 2, 3}
+
+    def test_strong_components_of_dag_are_singletons(self, diamond):
+        components = strongly_connected_components(diamond)
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == 5
+
+    def test_strong_components_of_cycle(self):
+        g = uncertain_cycle(6, 0.5)
+        components = strongly_connected_components(g)
+        assert len(components) == 1
+        assert components[0] == set(range(6))
+
+    def test_strong_components_mixed(self):
+        g = UncertainGraph(4)
+        g.add_arc(0, 1, 0.5)
+        g.add_arc(1, 0, 0.5)
+        g.add_arc(1, 2, 0.5)
+        g.add_arc(2, 3, 0.5)
+        components = {frozenset(c) for c in strongly_connected_components(g)}
+        assert components == {
+            frozenset({0, 1}),
+            frozenset({2}),
+            frozenset({3}),
+        }
+
+    def test_deep_path_does_not_recurse(self):
+        # 3000-node path: recursive Tarjan would hit the limit.
+        g = uncertain_path([0.5] * 3000)
+        components = strongly_connected_components(g)
+        assert len(components) == 3001
+
+
+class TestDiameter:
+    def test_path_diameter(self):
+        g = uncertain_path([0.5] * 9)
+        assert estimate_diameter(g, num_probes=20) == 9
+
+    def test_empty_graph(self):
+        assert estimate_diameter(UncertainGraph(0)) == 0
+
+    def test_diameter_is_lower_bound(self):
+        g = uncertain_gnp(30, 0.1, seed=5)
+        est = estimate_diameter(g, num_probes=4)
+        # True eccentricities upper-bound nothing here, but the estimate
+        # must never exceed n - 1.
+        assert 0 <= est <= g.num_nodes - 1
+
+
+class TestInducedBall:
+    def test_radius_zero(self, diamond):
+        assert induced_ball(diamond, 0, 0) == {0}
+
+    def test_ball_ignores_direction(self, diamond):
+        # 3 has only incoming arcs, but the undirected ball still grows.
+        assert induced_ball(diamond, 3, 1) == {1, 2, 3}
+
+    def test_ball_growth(self, diamond):
+        assert induced_ball(diamond, 0, 2) == {0, 1, 2, 3}
+
+    def test_ball_on_path(self):
+        g = uncertain_path([0.5] * 10)
+        assert induced_ball(g, 5, 2) == {3, 4, 5, 6, 7}

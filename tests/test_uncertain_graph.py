@@ -1,0 +1,242 @@
+"""Unit tests for the UncertainGraph data structure."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import UncertainGraph
+from repro.errors import (
+    GraphError,
+    InvalidProbabilityError,
+    NodeNotFoundError,
+)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = UncertainGraph(0)
+        assert g.num_nodes == 0
+        assert g.num_arcs == 0
+        assert list(g.arcs()) == []
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(GraphError):
+            UncertainGraph(-1)
+
+    def test_basic_arc_insertion(self):
+        g = UncertainGraph(3)
+        g.add_arc(0, 1, 0.5)
+        g.add_arc(1, 2, 0.25)
+        assert g.num_arcs == 2
+        assert g.probability(0, 1) == 0.5
+        assert g.probability(1, 2) == 0.25
+
+    def test_from_arcs_infers_node_count(self):
+        g = UncertainGraph.from_arcs([(0, 5, 0.3), (2, 1, 0.7)])
+        assert g.num_nodes == 6
+        assert g.num_arcs == 2
+
+    def test_from_arcs_explicit_node_count(self):
+        g = UncertainGraph.from_arcs([(0, 1, 0.3)], n=10)
+        assert g.num_nodes == 10
+
+    def test_from_arcs_empty(self):
+        g = UncertainGraph.from_arcs([])
+        assert g.num_nodes == 0
+
+    def test_add_node_returns_new_id(self):
+        g = UncertainGraph(2)
+        assert g.add_node() == 2
+        assert g.num_nodes == 3
+
+    def test_self_loop_is_dropped(self):
+        g = UncertainGraph(2)
+        g.add_arc(1, 1, 0.9)
+        assert g.num_arcs == 0
+
+    def test_probability_one_allowed(self):
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 1.0)
+        assert g.probability(0, 1) == 1.0
+
+
+class TestProbabilityValidation:
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5, float("nan")])
+    def test_invalid_probability_rejected(self, bad):
+        g = UncertainGraph(2)
+        with pytest.raises(InvalidProbabilityError):
+            g.add_arc(0, 1, bad)
+
+    def test_non_numeric_probability_rejected(self):
+        g = UncertainGraph(2)
+        with pytest.raises(InvalidProbabilityError):
+            g.add_arc(0, 1, "high")
+
+    def test_error_reports_arc(self):
+        g = UncertainGraph(2)
+        with pytest.raises(InvalidProbabilityError) as exc:
+            g.add_arc(0, 1, 2.0)
+        assert exc.value.arc == (0, 1)
+        assert exc.value.value == 2.0
+
+
+class TestNoisyOrMerge:
+    def test_parallel_arcs_merge(self):
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 0.5)
+        g.add_arc(0, 1, 0.5)
+        assert g.num_arcs == 1
+        assert g.probability(0, 1) == pytest.approx(0.75)
+
+    def test_merge_is_commutative(self):
+        g1 = UncertainGraph(2)
+        g1.add_arc(0, 1, 0.3)
+        g1.add_arc(0, 1, 0.6)
+        g2 = UncertainGraph(2)
+        g2.add_arc(0, 1, 0.6)
+        g2.add_arc(0, 1, 0.3)
+        assert g1.probability(0, 1) == pytest.approx(g2.probability(0, 1))
+
+    def test_merge_never_exceeds_one(self):
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 1.0)
+        g.add_arc(0, 1, 0.9)
+        assert g.probability(0, 1) == 1.0
+
+    def test_antiparallel_arcs_are_distinct(self):
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 0.4)
+        g.add_arc(1, 0, 0.6)
+        assert g.num_arcs == 2
+        assert g.probability(0, 1) == 0.4
+        assert g.probability(1, 0) == 0.6
+
+
+class TestRemoval:
+    def test_remove_arc(self):
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 0.4)
+        g.remove_arc(0, 1)
+        assert g.num_arcs == 0
+        assert not g.has_arc(0, 1)
+        assert 0 not in g.predecessors(1)
+
+    def test_remove_missing_arc_raises(self):
+        g = UncertainGraph(2)
+        with pytest.raises(GraphError):
+            g.remove_arc(0, 1)
+
+
+class TestInspection:
+    def test_node_bounds_checked(self, fig1_graph):
+        with pytest.raises(NodeNotFoundError):
+            fig1_graph.successors(99)
+        with pytest.raises(NodeNotFoundError):
+            fig1_graph.add_arc(0, 99, 0.5)
+
+    def test_contains_and_len(self, fig1_graph):
+        assert 0 in fig1_graph
+        assert 4 in fig1_graph
+        assert 5 not in fig1_graph
+        assert -1 not in fig1_graph
+        assert len(fig1_graph) == 5
+
+    def test_degrees(self, fig1_graph, fig1_names):
+        s = fig1_names["s"]
+        assert fig1_graph.out_degree(s) == 2
+        assert fig1_graph.in_degree(s) == 0
+        assert fig1_graph.degree(s) == 2
+
+    def test_arcs_iteration_counts(self, fig1_graph):
+        arcs = list(fig1_graph.arcs())
+        assert len(arcs) == fig1_graph.num_arcs
+        for u, v, p in arcs:
+            assert fig1_graph.probability(u, v) == p
+
+    def test_successors_predecessors_consistent(self, fig1_graph):
+        for u, v, p in fig1_graph.arcs():
+            assert fig1_graph.successors(u)[v] == p
+            assert fig1_graph.predecessors(v)[u] == p
+
+    def test_probability_of_missing_arc_raises(self, fig1_graph):
+        with pytest.raises(GraphError):
+            fig1_graph.probability(2, 0)
+
+
+class TestDerivedViews:
+    def test_reversed_flips_arcs(self, fig1_graph):
+        rev = fig1_graph.reversed()
+        assert rev.num_arcs == fig1_graph.num_arcs
+        for u, v, p in fig1_graph.arcs():
+            assert rev.probability(v, u) == p
+
+    def test_copy_is_independent(self, fig1_graph):
+        dup = fig1_graph.copy()
+        dup.add_arc(2, 0, 0.5)
+        assert dup.num_arcs == fig1_graph.num_arcs + 1
+        assert not fig1_graph.has_arc(2, 0)
+
+    def test_undirected_weights_accumulate_antiparallel(self):
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 0.5)
+        g.add_arc(1, 0, 0.5)
+        weights = g.undirected_weights()
+        assert set(weights) == {(0, 1)}
+        assert weights[(0, 1)] == pytest.approx(2 * -math.log(0.5))
+
+    def test_undirected_weights_clamp_probability_one(self):
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 1.0)
+        (weight,) = g.undirected_weights().values()
+        assert math.isfinite(weight)
+        assert weight > 20  # -log(1e-12)
+
+    def test_total_probability_mass(self):
+        g = UncertainGraph(3)
+        g.add_arc(0, 1, 0.25)
+        g.add_arc(1, 2, 0.5)
+        assert g.total_probability_mass() == pytest.approx(0.75)
+
+
+class TestSubgraphView:
+    def test_membership_and_counts(self, fig1_graph, fig1_names):
+        view = fig1_graph.subgraph(
+            [fig1_names["s"], fig1_names["w"], fig1_names["u"]]
+        )
+        assert view.num_nodes == 3
+        assert fig1_names["s"] in view
+        assert fig1_names["t"] not in view
+        # arcs inside {s, w, u}: s->w, s->u, w->u.
+        assert view.num_arcs == 3
+
+    def test_successor_iteration_filtered(self, fig1_graph, fig1_names):
+        view = fig1_graph.subgraph([fig1_names["s"], fig1_names["u"]])
+        successors = dict(view.successors(fig1_names["s"]))
+        assert set(successors) == {fig1_names["u"]}
+
+    def test_predecessor_iteration_filtered(self, fig1_graph, fig1_names):
+        view = fig1_graph.subgraph([fig1_names["s"], fig1_names["u"]])
+        predecessors = dict(view.predecessors(fig1_names["u"]))
+        assert set(predecessors) == {fig1_names["s"]}
+
+    def test_view_rejects_missing_nodes(self, fig1_graph):
+        with pytest.raises(NodeNotFoundError):
+            fig1_graph.subgraph([0, 99])
+
+    def test_view_rejects_queries_outside_members(self, fig1_graph):
+        view = fig1_graph.subgraph([0, 1])
+        with pytest.raises(NodeNotFoundError):
+            list(view.successors(2))
+
+    def test_materialize_relabels_densely(self, fig1_graph, fig1_names):
+        members = [fig1_names["s"], fig1_names["w"], fig1_names["u"]]
+        sub, relabel = fig1_graph.subgraph(members).materialize()
+        assert sub.num_nodes == 3
+        assert sorted(relabel) == sorted(members)
+        assert sorted(relabel.values()) == [0, 1, 2]
+        # s->w survives with the same probability.
+        assert sub.probability(
+            relabel[fig1_names["s"]], relabel[fig1_names["w"]]
+        ) == pytest.approx(0.6)

@@ -1,0 +1,194 @@
+"""Tests for variance-reduced MC estimators and certain-SCC condensation."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro import UncertainGraph
+from repro.errors import EmptySourceSetError, NodeNotFoundError
+from repro.graph.condense import contract_certain_sccs
+from repro.graph.exact import exact_reliability, exact_reliability_search
+from repro.graph.generators import uncertain_gnp, uncertain_path
+from repro.reliability.montecarlo import mc_reliability
+from repro.reliability.variance_reduction import (
+    antithetic_reliability,
+    stratified_reliability,
+)
+
+
+class TestAntithetic:
+    def test_unbiased_on_figure1(self, fig1_graph, fig1_names):
+        estimate = antithetic_reliability(
+            fig1_graph, [fig1_names["s"]], fig1_names["u"],
+            num_pairs=3000, seed=1,
+        )
+        assert estimate == pytest.approx(0.65, abs=0.02)
+
+    def test_matches_exact_on_random_graphs(self):
+        for seed in range(3):
+            g = uncertain_gnp(6, 0.3, seed=seed)
+            if g.num_arcs > 16 or g.num_arcs == 0:
+                continue
+            exact = exact_reliability(g, [0], 3)
+            estimate = antithetic_reliability(
+                g, [0], 3, num_pairs=3000, seed=seed
+            )
+            assert estimate == pytest.approx(exact, abs=0.03)
+
+    def test_variance_not_worse_than_crude(self, fig1_graph, fig1_names):
+        # Replicate both estimators many times at equal world budgets;
+        # the antithetic spread must not exceed the crude spread by a
+        # meaningful margin (theory: it is <=; allow noise slack).
+        crude, antithetic = [], []
+        for rep in range(30):
+            crude.append(
+                mc_reliability(
+                    fig1_graph, fig1_names["s"], fig1_names["u"],
+                    num_samples=100, seed=rep,
+                )
+            )
+            antithetic.append(
+                antithetic_reliability(
+                    fig1_graph, [fig1_names["s"]], fig1_names["u"],
+                    num_pairs=50, seed=rep,
+                )
+            )
+        var_crude = statistics.pvariance(crude)
+        var_anti = statistics.pvariance(antithetic)
+        assert var_anti <= var_crude * 1.5
+
+    def test_target_in_sources(self, fig1_graph):
+        assert antithetic_reliability(fig1_graph, [0], 0) == 1.0
+
+    def test_validation(self, fig1_graph):
+        with pytest.raises(EmptySourceSetError):
+            antithetic_reliability(fig1_graph, [], 1)
+        with pytest.raises(NodeNotFoundError):
+            antithetic_reliability(fig1_graph, [0], 99)
+        with pytest.raises(ValueError):
+            antithetic_reliability(fig1_graph, [0], 1, num_pairs=0)
+
+
+class TestStratified:
+    def test_unbiased_on_figure1(self, fig1_graph, fig1_names):
+        estimate = stratified_reliability(
+            fig1_graph, [fig1_names["s"]], fig1_names["u"],
+            num_samples=4000, num_strata_arcs=4, seed=2,
+        )
+        assert estimate == pytest.approx(0.65, abs=0.02)
+
+    def test_full_stratification_is_exact(self):
+        # k >= #arcs: every stratum is a fully determined world, so the
+        # estimate equals the exact reliability regardless of sampling.
+        g = uncertain_path([0.7, 0.4])
+        estimate = stratified_reliability(
+            g, [0], 2, num_samples=10, num_strata_arcs=2, seed=0
+        )
+        assert estimate == pytest.approx(0.28, abs=1e-12)
+
+    def test_zero_strata_degenerates_to_crude(self, fig1_graph, fig1_names):
+        estimate = stratified_reliability(
+            fig1_graph, [fig1_names["s"]], fig1_names["w"],
+            num_samples=4000, num_strata_arcs=0, seed=3,
+        )
+        assert estimate == pytest.approx(0.6, abs=0.03)
+
+    def test_variance_reduction_vs_crude(self, fig1_graph, fig1_names):
+        crude, stratified = [], []
+        for rep in range(30):
+            crude.append(
+                mc_reliability(
+                    fig1_graph, fig1_names["s"], fig1_names["u"],
+                    num_samples=120, seed=100 + rep,
+                )
+            )
+            stratified.append(
+                stratified_reliability(
+                    fig1_graph, [fig1_names["s"]], fig1_names["u"],
+                    num_samples=120, num_strata_arcs=4, seed=100 + rep,
+                )
+            )
+        var_crude = statistics.pvariance(crude)
+        var_strat = statistics.pvariance(stratified)
+        assert var_strat <= var_crude * 1.1
+
+    def test_empty_graph(self):
+        g = UncertainGraph(2)
+        assert stratified_reliability(g, [0], 1, num_samples=10) == 0.0
+
+    def test_validation(self, fig1_graph):
+        with pytest.raises(ValueError):
+            stratified_reliability(fig1_graph, [0], 1, num_samples=0)
+        with pytest.raises(ValueError):
+            stratified_reliability(
+                fig1_graph, [0], 1, num_strata_arcs=-1
+            )
+
+
+class TestCondensation:
+    def test_no_certain_arcs_is_identity(self, fig1_graph):
+        condensation = contract_certain_sccs(fig1_graph)
+        assert condensation.graph.num_nodes == fig1_graph.num_nodes
+        assert condensation.num_contracted == 0
+
+    def test_certain_cycle_contracts(self):
+        g = UncertainGraph(4)
+        g.add_arc(0, 1, 1.0)
+        g.add_arc(1, 0, 1.0)   # certain 2-cycle {0, 1}
+        g.add_arc(1, 2, 0.5)
+        g.add_arc(2, 3, 0.7)
+        condensation = contract_certain_sccs(g)
+        assert condensation.graph.num_nodes == 3
+        assert condensation.num_contracted == 1
+        rep = condensation.representative_of
+        assert rep[0] == rep[1]
+        assert rep[2] != rep[0]
+
+    def test_one_way_certain_arc_does_not_contract(self):
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 1.0)  # no way back: not strongly connected
+        condensation = contract_certain_sccs(g)
+        assert condensation.graph.num_nodes == 2
+
+    def test_reliability_preserved(self):
+        g = UncertainGraph(5)
+        g.add_arc(0, 1, 1.0)
+        g.add_arc(1, 0, 1.0)
+        g.add_arc(1, 2, 0.6)
+        g.add_arc(2, 3, 0.5)
+        g.add_arc(0, 4, 0.3)
+        condensation = contract_certain_sccs(g)
+        rep = condensation.representative_of
+        for target in range(2, 5):
+            original = exact_reliability(g, [0], target)
+            condensed = exact_reliability(
+                condensation.graph, [rep[0]], rep[target]
+            )
+            assert condensed == pytest.approx(original)
+
+    def test_search_answers_expand_correctly(self):
+        g = UncertainGraph(4)
+        g.add_arc(0, 1, 1.0)
+        g.add_arc(1, 0, 1.0)
+        g.add_arc(1, 2, 0.9)
+        g.add_arc(2, 3, 0.1)
+        condensation = contract_certain_sccs(g)
+        projected = condensation.project_sources([0])
+        answer = exact_reliability_search(
+            condensation.graph, projected, 0.5
+        )
+        expanded = condensation.expand_answer(answer)
+        direct = exact_reliability_search(g, [0], 0.5)
+        assert expanded == direct
+
+    def test_internal_uncertain_arc_disappears(self):
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 1.0)
+        g.add_arc(1, 0, 1.0)
+        g.add_arc(0, 1, 0.5)  # noisy-ors into the certain arc anyway
+        condensation = contract_certain_sccs(g)
+        assert condensation.graph.num_nodes == 1
+        assert condensation.graph.num_arcs == 0

@@ -1,0 +1,117 @@
+"""Tests for the k-terminal / all-terminal reliability estimators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UncertainGraph
+from repro.errors import NodeNotFoundError
+from repro.graph.generators import uncertain_cycle, uncertain_gnp, uncertain_path
+from repro.reliability.variants import (
+    all_terminal_reliability,
+    exact_k_terminal_reliability,
+    k_terminal_reliability,
+)
+
+
+class TestExactKTerminal:
+    def test_single_terminal_is_one(self):
+        g = uncertain_path([0.5])
+        assert exact_k_terminal_reliability(g, [0]) == 1.0
+
+    def test_directed_path_is_never_mutual(self):
+        # 0 -> 1 only: 1 can never reach 0.
+        g = uncertain_path([0.9])
+        assert exact_k_terminal_reliability(g, [0, 1]) == 0.0
+
+    def test_two_cycle(self):
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 0.8)
+        g.add_arc(1, 0, 0.5)
+        assert exact_k_terminal_reliability(g, [0, 1]) == pytest.approx(0.4)
+
+    def test_cycle_all_terminal(self):
+        # A directed 3-cycle is strongly connected iff all arcs exist.
+        g = uncertain_cycle(3, 0.5)
+        assert exact_k_terminal_reliability(g, [0, 1, 2]) == pytest.approx(
+            0.125
+        )
+
+    def test_duplicate_terminals_coalesce(self):
+        g = UncertainGraph(2)
+        g.add_arc(0, 1, 0.8)
+        g.add_arc(1, 0, 0.5)
+        assert exact_k_terminal_reliability(
+            g, [0, 1, 0]
+        ) == pytest.approx(0.4)
+
+    def test_arc_limit(self):
+        g = uncertain_gnp(10, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            exact_k_terminal_reliability(g, [0, 1])
+
+    def test_missing_terminal(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(NodeNotFoundError):
+            exact_k_terminal_reliability(g, [0, 9])
+
+    def test_empty_terminals(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(ValueError):
+            exact_k_terminal_reliability(g, [])
+
+
+class TestMonteCarloKTerminal:
+    def test_matches_exact_on_small_graphs(self):
+        for seed in range(3):
+            g = uncertain_gnp(5, 0.4, seed=seed)
+            if g.num_arcs > 20 or g.num_arcs == 0:
+                continue
+            exact = exact_k_terminal_reliability(g, [0, 1])
+            estimate = k_terminal_reliability(
+                g, [0, 1], num_samples=4000, seed=seed
+            )
+            assert estimate == pytest.approx(exact, abs=0.03)
+
+    def test_single_terminal(self):
+        g = uncertain_path([0.5])
+        assert k_terminal_reliability(g, [0], num_samples=10) == 1.0
+
+    def test_deterministic_with_seed(self):
+        g = uncertain_cycle(4, 0.6)
+        a = k_terminal_reliability(g, [0, 2], num_samples=500, seed=3)
+        b = k_terminal_reliability(g, [0, 2], num_samples=500, seed=3)
+        assert a == b
+
+    def test_monotone_in_terminal_count(self):
+        # More terminals can only make mutual connectivity harder.
+        g = uncertain_cycle(5, 0.8)
+        two = k_terminal_reliability(g, [0, 1], num_samples=2000, seed=0)
+        five = k_terminal_reliability(
+            g, [0, 1, 2, 3, 4], num_samples=2000, seed=0
+        )
+        assert five <= two + 0.02
+
+    def test_invalid_samples(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(ValueError):
+            k_terminal_reliability(g, [0, 1], num_samples=0)
+
+
+class TestAllTerminal:
+    def test_empty_graph(self):
+        assert all_terminal_reliability(UncertainGraph(0)) == 1.0
+
+    def test_single_node(self):
+        assert all_terminal_reliability(UncertainGraph(1), num_samples=10) == 1.0
+
+    def test_cycle_matches_product(self):
+        g = uncertain_cycle(3, 0.5)
+        estimate = all_terminal_reliability(g, num_samples=4000, seed=1)
+        assert estimate == pytest.approx(0.125, abs=0.02)
+
+    def test_disconnected_graph_is_zero(self):
+        g = UncertainGraph(3)
+        g.add_arc(0, 1, 1.0)
+        g.add_arc(1, 0, 1.0)
+        assert all_terminal_reliability(g, num_samples=50, seed=0) == 0.0

@@ -1,0 +1,124 @@
+"""Unit tests for the verification phase (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.verification import verify_lower_bound, verify_sampling
+from repro.errors import EmptySourceSetError, InvalidThresholdError
+from repro.graph.exact import exact_reliability, exact_reliability_search
+from repro.graph.generators import uncertain_gnp, uncertain_path
+
+
+class TestLowerBoundVerification:
+    def test_perfect_precision_on_random_graphs(self):
+        # Section 5.1: every node kept by the LB verifier truly satisfies
+        # the query (no false positives, ever).
+        for seed in range(6):
+            g = uncertain_gnp(6, 0.3, seed=seed)
+            if g.num_arcs > 16 or g.num_arcs == 0:
+                continue
+            candidates = set(g.nodes())
+            for eta in (0.3, 0.5, 0.8):
+                kept = verify_lower_bound(g, [0], eta, candidates)
+                for t in kept:
+                    assert exact_reliability(g, [0], t) >= eta - 1e-9
+
+    def test_keeps_strong_direct_paths(self):
+        g = uncertain_path([0.9, 0.9])
+        # Path probabilities: node 1 -> 0.9, node 2 -> 0.81; both >= 0.8.
+        assert verify_lower_bound(g, [0], 0.8, {0, 1, 2}) == {0, 1, 2}
+        # At eta = 0.85 node 2 (0.81) drops out.
+        assert verify_lower_bound(g, [0], 0.85, {0, 1, 2}) == {0, 1}
+
+    def test_source_always_kept(self):
+        g = uncertain_path([0.1])
+        assert 0 in verify_lower_bound(g, [0], 0.9, {0, 1})
+
+    def test_respects_candidate_restriction(self):
+        # Without node 1 in the candidate set, node 2 is unreachable.
+        g = uncertain_path([0.9, 0.9])
+        kept = verify_lower_bound(g, [0], 0.5, {0, 2})
+        assert kept == {0}
+
+    def test_misses_multipath_reliability(self, fig1_graph, fig1_names):
+        # u's reliability from s is 0.65 but its best single path is
+        # s->u at 0.5; with eta = 0.6 the LB verifier must drop u
+        # (a false negative — the documented trade-off of RQ-tree-LB).
+        kept = verify_lower_bound(
+            fig1_graph, [fig1_names["s"]], 0.6, set(range(5))
+        )
+        assert fig1_names["u"] not in kept
+        assert fig1_names["w"] in kept  # direct 0.6 arc
+
+    def test_eta_boundary_inclusive(self):
+        g = uncertain_path([0.6])
+        kept = verify_lower_bound(g, [0], 0.6, {0, 1})
+        assert 1 in kept  # path probability exactly eta
+
+    def test_multi_source(self):
+        g = uncertain_path([0.2, 0.9])
+        kept = verify_lower_bound(g, [0, 1], 0.8, {0, 1, 2})
+        assert kept == {0, 1, 2}
+
+    def test_invalid_eta_rejected(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(InvalidThresholdError):
+            verify_lower_bound(g, [0], 1.5, {0, 1})
+
+    def test_empty_sources_rejected(self):
+        g = uncertain_path([0.5])
+        with pytest.raises(EmptySourceSetError):
+            verify_lower_bound(g, [], 0.5, {0, 1})
+
+
+class TestSamplingVerification:
+    def test_matches_exact_answer_on_figure1(self, fig1_graph, fig1_names):
+        kept = verify_sampling(
+            fig1_graph,
+            [fig1_names["s"]],
+            0.5,
+            set(range(5)),
+            num_samples=4000,
+            seed=3,
+        )
+        expected = exact_reliability_search(fig1_graph, [fig1_names["s"]], 0.5)
+        assert kept == expected
+
+    def test_recovers_multipath_nodes_lb_misses(self, fig1_graph, fig1_names):
+        # The complementary strength of RQ-tree-MC: u (R = 0.65) is kept
+        # at eta = 0.6 even though its best path is only 0.5.
+        kept = verify_sampling(
+            fig1_graph,
+            [fig1_names["s"]],
+            0.6,
+            set(range(5)),
+            num_samples=4000,
+            seed=3,
+        )
+        assert fig1_names["u"] in kept
+
+    def test_deterministic_with_seed(self, fig1_graph):
+        a = verify_sampling(
+            fig1_graph, [0], 0.5, set(range(5)), num_samples=200, seed=9
+        )
+        b = verify_sampling(
+            fig1_graph, [0], 0.5, set(range(5)), num_samples=200, seed=9
+        )
+        assert a == b
+
+    def test_restricted_to_candidates(self, fig1_graph, fig1_names):
+        candidates = {fig1_names["s"], fig1_names["w"]}
+        kept = verify_sampling(
+            fig1_graph, [fig1_names["s"]], 0.3, candidates,
+            num_samples=500, seed=1,
+        )
+        assert kept <= candidates
+
+    def test_invalid_sample_count_rejected(self, fig1_graph):
+        with pytest.raises(ValueError):
+            verify_sampling(fig1_graph, [0], 0.5, {0}, num_samples=0)
+
+    def test_invalid_eta_rejected(self, fig1_graph):
+        with pytest.raises(InvalidThresholdError):
+            verify_sampling(fig1_graph, [0], 0.0, {0})

@@ -1,0 +1,130 @@
+"""Tests for the sampled-worlds index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UncertainGraph
+from repro.core.worldindex import WorldIndex
+from repro.errors import (
+    EmptySourceSetError,
+    GraphError,
+    InvalidThresholdError,
+    NodeNotFoundError,
+)
+from repro.graph.exact import exact_reliability, exact_reliability_search
+from repro.graph.generators import figure1_graph, nethept_like, uncertain_path
+from repro.influence.spread import expected_spread_mc
+
+
+class TestConstruction:
+    def test_world_count(self, fig1_graph):
+        index = WorldIndex(fig1_graph, num_worlds=50, seed=0)
+        assert index.num_worlds == 50
+        assert len(index.worlds) == 50
+
+    def test_deterministic_given_seed(self, fig1_graph):
+        a = WorldIndex(fig1_graph, num_worlds=20, seed=3)
+        b = WorldIndex(fig1_graph, num_worlds=20, seed=3)
+        assert a.to_json() == b.to_json()
+
+    def test_invalid_world_count(self, fig1_graph):
+        with pytest.raises(ValueError):
+            WorldIndex(fig1_graph, num_worlds=0)
+
+    def test_certain_arcs_in_every_world(self):
+        g = uncertain_path([1.0, 1.0])
+        index = WorldIndex(g, num_worlds=25, seed=0)
+        for adjacency in index.worlds:
+            assert 1 in adjacency.get(0, [])
+            assert 2 in adjacency.get(1, [])
+
+
+class TestQueries:
+    def test_figure1_answer(self, fig1_graph, fig1_names):
+        index = WorldIndex(fig1_graph, num_worlds=4000, seed=1)
+        answer = index.query(fig1_names["s"], 0.5)
+        expected = exact_reliability_search(fig1_graph, [fig1_names["s"]], 0.5)
+        assert answer == expected
+
+    def test_reliability_estimate(self, fig1_graph, fig1_names):
+        index = WorldIndex(fig1_graph, num_worlds=4000, seed=2)
+        estimate = index.reliability(fig1_names["s"], fig1_names["u"])
+        assert estimate == pytest.approx(0.65, abs=0.03)
+
+    def test_deterministic_answers(self, fig1_graph):
+        index = WorldIndex(fig1_graph, num_worlds=100, seed=0)
+        assert index.query(0, 0.5) == index.query(0, 0.5)
+
+    def test_multi_source(self):
+        g = UncertainGraph(3)
+        g.add_arc(0, 2, 0.5)
+        g.add_arc(1, 2, 0.5)
+        index = WorldIndex(g, num_worlds=4000, seed=4)
+        # R({0,1}, 2) = 0.75.
+        assert index.reliability([0, 1], 2) == pytest.approx(0.75, abs=0.03)
+
+    def test_max_hops(self):
+        g = uncertain_path([1.0, 1.0, 1.0])
+        index = WorldIndex(g, num_worlds=10, seed=0)
+        assert index.query(0, 0.5, max_hops=2) == {0, 1, 2}
+        assert index.query(0, 0.5) == {0, 1, 2, 3}
+
+    def test_expected_spread(self, fig1_graph, fig1_names):
+        index = WorldIndex(fig1_graph, num_worlds=4000, seed=5)
+        via_index = index.expected_spread(fig1_names["s"])
+        via_mc = expected_spread_mc(
+            fig1_graph, [fig1_names["s"]], num_samples=4000, seed=6
+        )
+        assert via_index == pytest.approx(via_mc, abs=0.15)
+
+    def test_validation(self, fig1_graph):
+        index = WorldIndex(fig1_graph, num_worlds=10, seed=0)
+        with pytest.raises(InvalidThresholdError):
+            index.query(0, 1.0)
+        with pytest.raises(EmptySourceSetError):
+            index.query([], 0.5)
+        with pytest.raises(NodeNotFoundError):
+            index.query(99, 0.5)
+        with pytest.raises(NodeNotFoundError):
+            index.reliability(0, 99)
+
+
+class TestPersistence:
+    def test_json_round_trip(self, fig1_graph):
+        index = WorldIndex(fig1_graph, num_worlds=30, seed=7)
+        restored = WorldIndex.from_json(index.to_json())
+        assert restored.query(0, 0.5) == index.query(0, 0.5)
+        assert restored.num_worlds == 30
+
+    def test_file_round_trip(self, tmp_path, fig1_graph):
+        index = WorldIndex(fig1_graph, num_worlds=30, seed=7)
+        path = tmp_path / "worlds.json"
+        index.save(path)
+        restored = WorldIndex.load(path)
+        assert restored.to_json() == index.to_json()
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(GraphError):
+            WorldIndex.from_json({"format": "nope"})
+
+    def test_world_count_mismatch_rejected(self, fig1_graph):
+        doc = WorldIndex(fig1_graph, num_worlds=5, seed=0).to_json()
+        doc["worlds"] = doc["worlds"][:-1]
+        with pytest.raises(GraphError):
+            WorldIndex.from_json(doc)
+
+
+class TestTradeoffs:
+    def test_storage_grows_with_k(self):
+        graph = nethept_like(n=100, seed=1)
+        small = WorldIndex(graph, num_worlds=10, seed=0)
+        large = WorldIndex(graph, num_worlds=100, seed=0)
+        assert large.storage_size_estimate() > small.storage_size_estimate()
+
+    def test_accuracy_matches_exact_on_small_graphs(self):
+        g = uncertain_path([0.8, 0.6])
+        index = WorldIndex(g, num_worlds=5000, seed=1)
+        assert index.reliability(0, 2) == pytest.approx(
+            exact_reliability(g, [0], 2), abs=0.02
+        )
