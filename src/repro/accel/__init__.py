@@ -1,0 +1,91 @@
+"""Vectorized acceleration backends for the sampling hot path.
+
+Every sampling-based estimator in the library (MC-Sampling baseline,
+RQ-tree-MC verification, influence spread, reliability detection) is a
+tally over K lazily-sampled possible worlds.  This package provides the
+shared machinery to run that tally as bulk numpy work instead of a
+per-world Python BFS:
+
+* :mod:`repro.accel.csr` — immutable CSR snapshots of
+  :class:`~repro.graph.uncertain.UncertainGraph`, cached on the graph
+  and invalidated on mutation;
+* :mod:`repro.accel.mc_kernel` — the batch-of-worlds frontier-expansion
+  kernel (``visited[W, n]`` boolean state, bulk coin flips);
+* :func:`resolve_backend` — the ``backend="auto"|"python"|"numpy"``
+  dispatch rule threaded through every sampling entry point.
+
+Contract between backends
+-------------------------
+Both backends draw from the same distribution (lazy possible-world
+semantics) and both are deterministic per seed, but they consume their
+random streams differently, so the *same seed gives different concrete
+samples on different backends*.  The pure-Python path is the reference
+oracle; the numpy path must agree with it statistically (and with the
+exact enumerator on small graphs) — see ``tests/test_backend_parity.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import BackendUnavailableError
+from .csr import CSRGraph, csr_snapshot, numpy_available
+from .mc_kernel import BatchReachResult, sample_reach_batch
+
+__all__ = [
+    "CSRGraph",
+    "csr_snapshot",
+    "numpy_available",
+    "BatchReachResult",
+    "sample_reach_batch",
+    "resolve_backend",
+    "BACKENDS",
+    "AUTO_NODE_THRESHOLD",
+]
+
+#: Valid values for every ``backend=`` parameter in the library.
+BACKENDS = ("auto", "python", "numpy")
+
+#: ``backend="auto"`` switches to the numpy kernel at this many
+#: effective nodes (the candidate-set size when sampling is restricted,
+#: the full graph size otherwise).  Below it, per-call numpy overhead
+#: (snapshot lookups, array setup) can exceed the BFS itself, and the
+#: seeded pure-Python reference keeps long-standing deterministic
+#: behaviour for the small graphs the tests pin down.
+AUTO_NODE_THRESHOLD = 512
+
+
+def resolve_backend(
+    backend: str, effective_nodes: Optional[int] = None
+) -> str:
+    """Resolve a ``backend=`` argument to ``"python"`` or ``"numpy"``.
+
+    Parameters
+    ----------
+    backend:
+        One of :data:`BACKENDS`.  ``"auto"`` picks numpy when it is
+        importable and the workload is large enough to benefit
+        (``effective_nodes >= AUTO_NODE_THRESHOLD``); explicit
+        ``"numpy"`` raises :class:`BackendUnavailableError` if numpy is
+        missing rather than silently degrading.
+    effective_nodes:
+        Size of the node set sampling will actually touch.  ``None``
+        means unknown, which ``"auto"`` treats as small (python).
+    """
+    if backend == "python":
+        return "python"
+    if backend == "numpy":
+        if not numpy_available():
+            raise BackendUnavailableError("numpy", "numpy is not importable")
+        return "numpy"
+    if backend == "auto":
+        if (
+            numpy_available()
+            and effective_nodes is not None
+            and effective_nodes >= AUTO_NODE_THRESHOLD
+        ):
+            return "numpy"
+        return "python"
+    raise BackendUnavailableError(
+        str(backend), f"expected one of {', '.join(BACKENDS)}"
+    )

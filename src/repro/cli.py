@@ -105,6 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--method", choices=("lb", "mc"), default="lb")
     query.add_argument("--samples", type=int, default=1000)
     query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--backend", choices=("auto", "python", "numpy"), default="auto",
+        help="sampling backend for MC verification"
+    )
     query.add_argument("--max-hops", type=int, default=None,
                        help="distance-constrained variant")
     query.add_argument(
@@ -121,6 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--method", choices=("lb", "mc"), default="lb")
     topk.add_argument("--samples", type=int, default=1000)
     topk.add_argument("--seed", type=int, default=0)
+    topk.add_argument(
+        "--backend", choices=("auto", "python", "numpy"), default="auto",
+        help="sampling backend for MC scoring"
+    )
 
     transform = commands.add_parser(
         "transform",
@@ -147,6 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--method", choices=("lb", "mc"), default="mc")
     detect.add_argument("--samples", type=int, default=1000)
     detect.add_argument("--seed", type=int, default=0)
+    detect.add_argument(
+        "--backend", choices=("auto", "python", "numpy"), default="auto",
+        help="sampling backend for MC probes"
+    )
 
     return parser
 
@@ -232,6 +244,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         seed=args.seed,
         multi_source_mode=args.multi_source_mode,
         max_hops=args.max_hops,
+        backend=args.backend,
     )
     elapsed = time.perf_counter() - start
     print(
@@ -260,6 +273,7 @@ def _cmd_top_k(args: argparse.Namespace) -> int:
         method=args.method,
         num_samples=args.samples,
         seed=args.seed,
+        backend=args.backend,
     )
     print(
         format_table(
@@ -281,6 +295,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         method=args.method,
         num_samples=args.samples,
         seed=args.seed,
+        backend=args.backend,
     )
     print(
         format_table(

@@ -89,6 +89,7 @@ class CachingRQTreeEngine:
         seed: Optional[int] = None,
         multi_source_mode: str = "greedy",
         max_hops: Optional[int] = None,
+        backend: str = "auto",
     ) -> QueryResult:
         """Answer a query, serving repeats from the cache.
 
@@ -106,11 +107,11 @@ class CachingRQTreeEngine:
             return self._engine.query(
                 sources, eta, method=method, num_samples=num_samples,
                 seed=seed, multi_source_mode=multi_source_mode,
-                max_hops=max_hops,
+                max_hops=max_hops, backend=backend,
             )
         key = (
             source_key, eta, method, num_samples, seed,
-            multi_source_mode, max_hops,
+            multi_source_mode, max_hops, backend,
         )
         cached = self._cache.get(key)
         if cached is not None:
@@ -121,7 +122,7 @@ class CachingRQTreeEngine:
         result = self._engine.query(
             sources, eta, method=method, num_samples=num_samples,
             seed=seed, multi_source_mode=multi_source_mode,
-            max_hops=max_hops,
+            max_hops=max_hops, backend=backend,
         )
         self._cache[key] = result
         if len(self._cache) > self._capacity:

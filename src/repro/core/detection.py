@@ -70,6 +70,7 @@ def detect_reliability(
     method: str = "mc",
     num_samples: int = 1000,
     seed: Optional[int] = None,
+    backend: str = "auto",
 ) -> DetectionResult:
     """Estimate ``R(S, t)`` by binary search on the threshold (§2).
 
@@ -104,7 +105,7 @@ def detect_reliability(
             break
         answer = engine.query(
             source_list, mid, method=method,
-            num_samples=num_samples, seed=seed,
+            num_samples=num_samples, seed=seed, backend=backend,
         ).nodes
         queries += 1
         if target in answer:
@@ -122,6 +123,7 @@ def reliability_scores(
     num_samples: int = 1000,
     seed: Optional[int] = None,
     max_hops: Optional[int] = None,
+    backend: str = "auto",
 ) -> Dict[int, float]:
     """Per-node reliability scores over the candidate set at *eta*.
 
@@ -167,6 +169,7 @@ def reliability_scores(
             seed=seed,
             allowed=candidates,
             max_hops=max_hops,
+            backend=backend,
         )
         estimator.run(num_samples)
         scores = {
@@ -190,6 +193,7 @@ def top_k_reliable(
     seed: Optional[int] = None,
     eta_floor: float = 0.01,
     include_sources: bool = False,
+    backend: str = "auto",
 ) -> List[Tuple[int, float]]:
     """The *k* most reliable nodes from the source set, with scores.
 
@@ -216,6 +220,7 @@ def top_k_reliable(
         scores = reliability_scores(
             engine, source_list, eta,
             method=method, num_samples=num_samples, seed=seed,
+            backend=backend,
         )
         hits = [n for n in scores if include_sources or n not in source_set]
         if len(hits) >= k or eta <= eta_floor:

@@ -181,6 +181,7 @@ class RQTreeEngine:
         seed: Optional[int] = None,
         multi_source_mode: str = "greedy",
         max_hops: Optional[int] = None,
+        backend: str = "auto",
     ) -> QueryResult:
         """Answer the reliability-search query ``RS(S, eta)``.
 
@@ -209,6 +210,11 @@ class RQTreeEngine:
             unconstrained candidate set remains valid because hop
             bounds only shrink reachability events, so no new candidate
             machinery is needed — only verification changes.
+        backend:
+            Sampling backend for the MC verifier
+            (``"auto"``/``"python"``/``"numpy"``; see
+            :mod:`repro.accel`).  Ignored for ``"lb"``/``"lb+"``,
+            which never sample.
         """
         source_list = self._normalize_sources(sources)
         start = time.perf_counter()
@@ -253,6 +259,7 @@ class RQTreeEngine:
                 num_samples=num_samples,
                 seed=seed,
                 max_hops=max_hops,
+                backend=backend,
             )
         else:
             raise ValueError(

@@ -180,6 +180,7 @@ def verify_sampling(
     num_samples: int = 1000,
     seed: Optional[int] = None,
     max_hops: Optional[int] = None,
+    backend: str = "auto",
 ) -> Set[int]:
     """Monte-Carlo verification on the candidate-induced subgraph.
 
@@ -187,7 +188,9 @@ def verify_sampling(
     leaving the candidate set, and keeps candidates reached in at least
     ``eta * num_samples`` worlds.  The sample count is the paper's
     efficiency/accuracy knob (Section 5.2); the paper's experiments use
-    ``K = 1000``.
+    ``K = 1000``.  *backend* selects the sampling implementation
+    (:mod:`repro.accel`); ``"auto"`` counts the candidate set, not the
+    whole graph, when deciding whether the batched kernel pays off.
     """
     source_set = _check(eta, sources)
     if num_samples <= 0:
@@ -198,6 +201,7 @@ def verify_sampling(
         seed=seed,
         allowed=candidates,
         max_hops=max_hops,
+        backend=backend,
     )
     estimator.run(num_samples)
     return estimator.nodes_above(eta)

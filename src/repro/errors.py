@@ -83,3 +83,17 @@ class InvalidCapacityError(FlowError, ValueError):
 
 class PartitionError(ReproError):
     """The balanced partitioner received an unpartitionable input."""
+
+
+class BackendUnavailableError(ReproError, ValueError):
+    """An explicitly requested sampling backend cannot run here.
+
+    Raised when ``backend="numpy"`` is requested but numpy is not
+    importable, or when an unknown backend name is supplied.  The
+    ``backend="auto"`` default never raises — it silently falls back to
+    the pure-Python reference implementation.
+    """
+
+    def __init__(self, backend: str, reason: str) -> None:
+        self.backend = backend
+        super().__init__(f"sampling backend {backend!r} unavailable: {reason}")

@@ -20,10 +20,11 @@ a distribution over deterministic subgraphs: world ``G`` keeps each arc
 from __future__ import annotations
 
 import random
-from collections import deque
+from collections import Counter, deque
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from .uncertain import UncertainGraph
+from ..accel import resolve_backend, sample_reach_batch
+from .uncertain import UncertainGraph, WeightedArc
 
 __all__ = [
     "WorldSampler",
@@ -48,13 +49,29 @@ class WorldSampler:
     def __init__(self, graph: UncertainGraph, seed: Optional[int] = None) -> None:
         self._graph = graph
         self._rng = random.Random(seed)
+        self._arc_list: Optional[List[WeightedArc]] = None
+        self._arc_version = -1
+
+    def _arcs(self) -> List[WeightedArc]:
+        """The graph's arc list, snapshotted once and reused per version.
+
+        Re-walking the dict-of-dicts ``arcs()`` generator on every world
+        dominates ``sample_world`` on dense graphs; the snapshot is
+        rebuilt only when :attr:`UncertainGraph.version` shows the graph
+        mutated since it was taken.
+        """
+        version = self._graph.version
+        if self._arc_list is None or self._arc_version != version:
+            self._arc_list = list(self._graph.arcs())
+            self._arc_version = version
+        return self._arc_list
 
     def sample_world(self) -> List[Tuple[int, int]]:
         """Draw one world; returns the list of arcs that exist in it."""
         rng_random = self._rng.random
         return [
             (u, v)
-            for u, v, p in self._graph.arcs()
+            for u, v, p in self._arcs()
             if rng_random() < p
         ]
 
@@ -62,7 +79,7 @@ class WorldSampler:
         """Draw one world as a successor-list adjacency structure."""
         adjacency: List[List[int]] = [[] for _ in range(self._graph.num_nodes)]
         rng_random = self._rng.random
-        for u, v, p in self._graph.arcs():
+        for u, v, p in self._arcs():
             if rng_random() < p:
                 adjacency[u].append(v)
         return adjacency
@@ -136,6 +153,17 @@ class ReachabilityFrequencyEstimator:
     ``R(S, t)`` (paper, Eq. 2).  Thresholding the counts at ``eta * K``
     answers a reliability-search query the way the MC-Sampling baseline
     does.
+
+    Parameters
+    ----------
+    backend:
+        ``"python"`` runs the reference lazy-BFS sampler world by
+        world; ``"numpy"`` runs the batched CSR kernel of
+        :mod:`repro.accel.mc_kernel`; ``"auto"`` (default) picks numpy
+        above :data:`repro.accel.AUTO_NODE_THRESHOLD` effective nodes.
+        Both backends are deterministic per seed and draw from the same
+        distribution, but their concrete samples differ for a given
+        seed (they consume the random stream in different orders).
     """
 
     def __init__(
@@ -145,13 +173,24 @@ class ReachabilityFrequencyEstimator:
         seed: Optional[int] = None,
         allowed: Optional[Set[int]] = None,
         max_hops: Optional[int] = None,
+        backend: str = "auto",
     ) -> None:
         self._graph = graph
         self._sources = list(sources)
         self._allowed = allowed
         self._max_hops = max_hops
+        effective_nodes = (
+            graph.num_nodes
+            if allowed is None
+            else min(graph.num_nodes, len(allowed))
+        )
+        self._backend = resolve_backend(backend, effective_nodes)
         self._rng = random.Random(seed)
-        self._counts: Dict[int, int] = {}
+        if self._backend == "numpy":
+            import numpy
+
+            self._np_rng = numpy.random.default_rng(seed)
+        self._counts: Counter = Counter()
         self._num_worlds = 0
 
     @property
@@ -159,19 +198,37 @@ class ReachabilityFrequencyEstimator:
         """Number of worlds sampled so far."""
         return self._num_worlds
 
+    @property
+    def backend(self) -> str:
+        """The resolved backend (``"python"`` or ``"numpy"``)."""
+        return self._backend
+
     def run(self, num_worlds: int) -> "ReachabilityFrequencyEstimator":
         """Sample *num_worlds* additional worlds, accumulating counts."""
-        counts = self._counts
-        for _ in range(num_worlds):
-            reached = sample_reachable(
+        if self._backend == "numpy":
+            batch = sample_reach_batch(
                 self._graph,
                 self._sources,
-                self._rng,
-                self._allowed,
+                num_worlds,
+                self._np_rng,
+                allowed=self._allowed,
                 max_hops=self._max_hops,
             )
-            for node in reached:
-                counts[node] = counts.get(node, 0) + 1
+            hit = batch.counts.nonzero()[0]
+            self._counts.update(
+                dict(zip(hit.tolist(), batch.counts[hit].tolist()))
+            )
+        else:
+            counts = self._counts
+            for _ in range(num_worlds):
+                reached = sample_reachable(
+                    self._graph,
+                    self._sources,
+                    self._rng,
+                    self._allowed,
+                    max_hops=self._max_hops,
+                )
+                counts.update(reached)
         self._num_worlds += num_worlds
         return self
 

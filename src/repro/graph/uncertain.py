@@ -73,7 +73,7 @@ class UncertainGraph:
         3
     """
 
-    __slots__ = ("_succ", "_pred", "_num_arcs")
+    __slots__ = ("_succ", "_pred", "_num_arcs", "_version", "_csr_cache")
 
     def __init__(self, n: int = 0) -> None:
         if n < 0:
@@ -82,6 +82,14 @@ class UncertainGraph:
         self._succ: List[Dict[int, float]] = [dict() for _ in range(n)]
         self._pred: List[Dict[int, float]] = [dict() for _ in range(n)]
         self._num_arcs = 0
+        # Mutation counter: bumped by every structural change.  Derived
+        # snapshots (the CSR arrays in :mod:`repro.accel.csr`, the arc
+        # list cached by :class:`~repro.graph.sampling.WorldSampler`)
+        # record the version they were built at and rebuild when it no
+        # longer matches.
+        self._version = 0
+        # Slot for the cached CSR snapshot (owned by repro.accel.csr).
+        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -112,6 +120,7 @@ class UncertainGraph:
         """Append a fresh isolated node and return its id."""
         self._succ.append({})
         self._pred.append({})
+        self._version += 1
         return len(self._succ) - 1
 
     def add_arc(self, u: int, v: int, p: float) -> None:
@@ -136,6 +145,7 @@ class UncertainGraph:
             p = min(p, 1.0)
         self._succ[u][v] = p
         self._pred[v][u] = p
+        self._version += 1
 
     def remove_arc(self, u: int, v: int) -> None:
         """Delete the arc ``(u, v)``; raise :class:`GraphError` if absent."""
@@ -146,6 +156,7 @@ class UncertainGraph:
         del self._succ[u][v]
         del self._pred[v][u]
         self._num_arcs -= 1
+        self._version += 1
 
     def _require_node(self, node: int) -> None:
         if not 0 <= node < len(self._succ):
@@ -163,6 +174,16 @@ class UncertainGraph:
     def num_arcs(self) -> int:
         """Number of distinct directed arcs ``m``."""
         return self._num_arcs
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; changes whenever the graph does.
+
+        Derived caches (CSR snapshots, samplers' arc lists) compare the
+        version they were built at against the current one to decide
+        whether they are still valid.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return len(self._succ)

@@ -51,11 +51,14 @@ def mc_sampling_search(
     num_samples: int = 1000,
     seed: Optional[int] = None,
     max_hops: Optional[int] = None,
+    backend: str = "auto",
 ) -> MCSamplingResult:
     """Answer ``RS(S, eta)`` with whole-graph Monte-Carlo sampling.
 
     Time complexity ``O(K (n + m))`` (Table 1): each of the ``K`` worlds
-    costs one (lazy) BFS over at most the whole graph.
+    costs one (lazy) BFS over at most the whole graph.  *backend*
+    selects the sampling implementation (``"auto"``/``"python"``/
+    ``"numpy"``; see :mod:`repro.accel`).
     """
     source_list = _normalize(sources)
     if math.isnan(eta) or not 0.0 < eta < 1.0:
@@ -64,7 +67,7 @@ def mc_sampling_search(
         raise ValueError(f"num_samples must be positive, got {num_samples}")
     start = time.perf_counter()
     estimator = ReachabilityFrequencyEstimator(
-        graph, source_list, seed=seed, max_hops=max_hops
+        graph, source_list, seed=seed, max_hops=max_hops, backend=backend
     )
     estimator.run(num_samples)
     nodes = estimator.nodes_above(eta)
@@ -83,9 +86,12 @@ def mc_reliability(
     target: int,
     num_samples: int = 1000,
     seed: Optional[int] = None,
+    backend: str = "auto",
 ) -> float:
     """Two-terminal(-style) reliability estimate ``R(S, t)`` by sampling."""
     source_list = _normalize(sources)
-    estimator = ReachabilityFrequencyEstimator(graph, source_list, seed=seed)
+    estimator = ReachabilityFrequencyEstimator(
+        graph, source_list, seed=seed, backend=backend
+    )
     estimator.run(num_samples)
     return estimator.frequencies().get(target, 0.0)

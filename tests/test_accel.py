@@ -1,0 +1,210 @@
+"""Unit tests for the CSR snapshot and batched MC kernel (repro.accel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    AUTO_NODE_THRESHOLD,
+    BACKENDS,
+    CSRGraph,
+    csr_snapshot,
+    numpy_available,
+    resolve_backend,
+    sample_reach_batch,
+)
+from repro.accel import mc_kernel
+from repro.errors import BackendUnavailableError
+from repro.graph.generators import uncertain_gnp
+from repro.graph.sampling import WorldSampler
+from repro.graph.uncertain import UncertainGraph
+
+
+def test_numpy_available_here():
+    assert numpy_available()
+
+
+# ----------------------------------------------------------------------
+# CSR snapshots
+# ----------------------------------------------------------------------
+def test_csr_roundtrip_matches_adjacency(fig1_graph):
+    csr = csr_snapshot(fig1_graph)
+    assert csr.num_nodes == fig1_graph.num_nodes
+    assert csr.num_arcs == fig1_graph.num_arcs
+    for u in range(fig1_graph.num_nodes):
+        lo, hi = int(csr.indptr[u]), int(csr.indptr[u + 1])
+        forward = dict(
+            zip(csr.indices[lo:hi].tolist(), csr.probs[lo:hi].tolist())
+        )
+        assert forward == fig1_graph.successors(u)
+        lo, hi = int(csr.rev_indptr[u]), int(csr.rev_indptr[u + 1])
+        reverse = dict(
+            zip(
+                csr.rev_indices[lo:hi].tolist(),
+                csr.rev_probs[lo:hi].tolist(),
+            )
+        )
+        assert reverse == fig1_graph.predecessors(u)
+    assert csr.out_degrees().sum() == fig1_graph.num_arcs
+
+
+def test_csr_arrays_are_readonly(fig1_graph):
+    csr = csr_snapshot(fig1_graph)
+    for array in (csr.indptr, csr.indices, csr.probs, csr.probs_f32,
+                  csr.rev_indptr, csr.rev_indices, csr.rev_probs):
+        with pytest.raises(ValueError):
+            array[0] = 0
+
+
+def test_csr_snapshot_cached_until_mutation():
+    g = uncertain_gnp(20, 0.2, seed=3)
+    first = csr_snapshot(g)
+    assert csr_snapshot(g) is first  # cache hit while version unchanged
+    version = g.version
+    g.add_arc(0, 19, 0.5)
+    assert g.version > version
+    rebuilt = csr_snapshot(g)
+    assert rebuilt is not first
+    assert rebuilt.num_arcs == first.num_arcs + 1
+    assert csr_snapshot(g) is rebuilt
+
+
+def test_csr_snapshot_invalidated_by_every_mutation_kind():
+    g = UncertainGraph(2)
+    g.add_arc(0, 1, 0.5)
+    for mutate in (
+        lambda: g.add_node(),
+        lambda: g.add_arc(1, 0, 0.25),
+        lambda: g.remove_arc(1, 0),
+    ):
+        before = csr_snapshot(g)
+        mutate()
+        assert csr_snapshot(g) is not before
+
+
+def test_csr_rejects_non_graph():
+    with pytest.raises(TypeError, match="materialize"):
+        CSRGraph({0: {1: 0.5}})  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Batched kernel mechanics
+# ----------------------------------------------------------------------
+def test_batch_rejects_nonpositive_worlds(fig1_graph):
+    with pytest.raises(ValueError, match="num_worlds"):
+        sample_reach_batch(
+            fig1_graph, [0], 0, np.random.default_rng(0)
+        )
+
+
+def test_batch_empty_sources(fig1_graph):
+    batch = sample_reach_batch(
+        fig1_graph, [], 50, np.random.default_rng(0)
+    )
+    assert batch.counts.sum() == 0
+    assert (batch.world_sizes == 0).all()
+    assert batch.num_worlds == 50
+
+
+def test_batch_sources_always_reached(fig1_graph):
+    batch = sample_reach_batch(
+        fig1_graph, [0, 3], 64, np.random.default_rng(1)
+    )
+    assert batch.counts[0] == 64
+    assert batch.counts[3] == 64
+    assert (batch.world_sizes >= 2).all()
+
+
+def test_batch_sources_outside_allowed_are_dropped(fig1_graph):
+    batch = sample_reach_batch(
+        fig1_graph, [0], 40, np.random.default_rng(2), allowed={1, 2}
+    )
+    assert batch.counts.sum() == 0
+
+
+def test_batch_max_hops_zero_is_sources_only(fig1_graph):
+    batch = sample_reach_batch(
+        fig1_graph, [0], 40, np.random.default_rng(3), max_hops=0
+    )
+    assert batch.counts[0] == 40
+    assert batch.counts.sum() == 40
+
+
+def test_batch_deterministic_per_seed(fig1_graph):
+    a = sample_reach_batch(fig1_graph, [0], 500, np.random.default_rng(11))
+    b = sample_reach_batch(fig1_graph, [0], 500, np.random.default_rng(11))
+    assert (a.counts == b.counts).all()
+    assert (a.world_sizes == b.world_sizes).all()
+    c = sample_reach_batch(fig1_graph, [0], 500, np.random.default_rng(12))
+    assert not (a.counts == c.counts).all()
+
+
+def test_batch_chunked_run_covers_all_worlds(fig1_graph, monkeypatch):
+    # Force a tiny chunk so the accumulation loop runs many times.
+    monkeypatch.setattr(mc_kernel, "_chunk_size", lambda csr, w: 7)
+    batch = sample_reach_batch(
+        fig1_graph, [0], 100, np.random.default_rng(5)
+    )
+    assert batch.num_worlds == 100
+    assert batch.counts[0] == 100
+    assert batch.world_sizes.shape == (100,)
+    # frequencies remain sane estimates despite chunking
+    assert 0.4 < batch.counts[3] / 100 < 0.9
+
+
+def test_batch_accepts_prebuilt_csr(fig1_graph):
+    csr = csr_snapshot(fig1_graph)
+    batch = sample_reach_batch(csr, [0], 64, np.random.default_rng(7))
+    assert batch.counts[0] == 64
+
+
+def test_batch_isolated_node_graph():
+    g = UncertainGraph(3)  # no arcs at all
+    batch = sample_reach_batch(g, [1], 16, np.random.default_rng(0))
+    assert batch.counts.tolist() == [0, 16, 0]
+
+
+# ----------------------------------------------------------------------
+# Backend resolution
+# ----------------------------------------------------------------------
+def test_resolve_backend_explicit():
+    assert resolve_backend("python", 10_000) == "python"
+    assert resolve_backend("numpy", 1) == "numpy"
+
+
+def test_resolve_backend_auto_threshold():
+    assert resolve_backend("auto", AUTO_NODE_THRESHOLD - 1) == "python"
+    assert resolve_backend("auto", AUTO_NODE_THRESHOLD) == "numpy"
+    # unknown problem size stays on the reference implementation
+    assert resolve_backend("auto", None) == "python"
+
+
+def test_resolve_backend_unknown_name():
+    with pytest.raises(BackendUnavailableError, match="cython"):
+        resolve_backend("cython", 100)
+    assert "cython" not in BACKENDS
+
+
+# ----------------------------------------------------------------------
+# WorldSampler arc-list snapshot
+# ----------------------------------------------------------------------
+def test_world_sampler_snapshot_tracks_mutation():
+    g = UncertainGraph(3)
+    g.add_arc(0, 1, 1.0)
+    sampler = WorldSampler(g, seed=0)
+    assert sampler.sample_world() == [(0, 1)]
+    # Mutating the graph between samples must invalidate the arc-list
+    # snapshot: the new certain arc shows up in the very next world.
+    g.add_arc(1, 2, 1.0)
+    assert sorted(sampler.sample_world()) == [(0, 1), (1, 2)]
+    g.remove_arc(0, 1)
+    assert sampler.sample_world() == [(1, 2)]
+
+
+def test_world_sampler_seeded_sequences_unchanged():
+    g = uncertain_gnp(12, 0.3, seed=4)
+    a = WorldSampler(g, seed=9)
+    b = WorldSampler(g, seed=9)
+    for _ in range(5):
+        assert a.sample_world() == b.sample_world()

@@ -1,0 +1,250 @@
+"""Backend-parity tests: python vs numpy sampling backends.
+
+The contract (see :mod:`repro.accel`): each backend is deterministic
+per seed, both draw node-reachability indicators from the *same*
+distribution, and their concrete samples differ for a given seed (they
+consume their random streams in different orders).  Parity is therefore
+checked statistically — against the exact brute-force oracle where the
+graph is small enough, and backend-vs-backend within binomial
+confidence bounds elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.verification import verify_sampling
+from repro.graph.exact import exact_hop_reliability, exact_reliability
+from repro.graph.generators import uncertain_gnp, uncertain_path
+from repro.graph.sampling import ReachabilityFrequencyEstimator
+from repro.reliability.montecarlo import mc_reliability, mc_sampling_search
+
+BACKENDS = ("python", "numpy")
+
+#: Worlds for exact-oracle agreement on tiny (<= 10 node) graphs.
+K_EXACT = 20_000
+
+
+def binomial_bound(p: float, k: int, sigmas: float = 5.0) -> float:
+    """A ``sigmas``-sigma band around a frequency estimated from k coins."""
+    return sigmas * math.sqrt(max(p * (1.0 - p), 1e-4) / k) + 2.0 / k
+
+
+# ----------------------------------------------------------------------
+# Same-seed determinism, per backend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_same_seed_same_frequencies(fig1_graph, backend):
+    runs = [
+        ReachabilityFrequencyEstimator(
+            fig1_graph, [0], seed=123, backend=backend
+        ).run(400).frequencies()
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]
+    assert runs[0] != ReachabilityFrequencyEstimator(
+        fig1_graph, [0], seed=124, backend=backend
+    ).run(400).frequencies()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_resolution_is_reported(fig1_graph, backend):
+    estimator = ReachabilityFrequencyEstimator(
+        fig1_graph, [0], seed=0, backend=backend
+    )
+    assert estimator.backend == backend
+
+
+# ----------------------------------------------------------------------
+# Exact-oracle agreement on <= 10-node graphs (K = 20000)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_exact_oracle_agreement_figure1(fig1_graph, backend):
+    estimator = ReachabilityFrequencyEstimator(
+        fig1_graph, [0], seed=7, backend=backend
+    ).run(K_EXACT)
+    freqs = estimator.frequencies()
+    for target in range(fig1_graph.num_nodes):
+        exact = exact_reliability(fig1_graph, [0], target)
+        estimate = freqs.get(target, 0.0)
+        assert abs(estimate - exact) < binomial_bound(exact, K_EXACT), (
+            target, estimate, exact
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_exact_oracle_agreement_path(backend):
+    graph = uncertain_path([0.9, 0.8, 0.7, 0.6])
+    estimator = ReachabilityFrequencyEstimator(
+        graph, [0], seed=21, backend=backend
+    ).run(K_EXACT)
+    freqs = estimator.frequencies()
+    for target in range(graph.num_nodes):
+        exact = exact_reliability(graph, [0], target)
+        assert abs(freqs.get(target, 0.0) - exact) < binomial_bound(
+            exact, K_EXACT
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_exact_oracle_agreement_multi_source(fig1_graph, backend):
+    estimator = ReachabilityFrequencyEstimator(
+        fig1_graph, [0, 2], seed=33, backend=backend
+    ).run(K_EXACT)
+    freqs = estimator.frequencies()
+    for target in range(fig1_graph.num_nodes):
+        exact = exact_reliability(fig1_graph, [0, 2], target)
+        assert abs(freqs.get(target, 0.0) - exact) < binomial_bound(
+            exact, K_EXACT
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_exact_oracle_agreement_max_hops(fig1_graph, backend):
+    estimator = ReachabilityFrequencyEstimator(
+        fig1_graph, [0], seed=5, backend=backend, max_hops=2
+    ).run(K_EXACT)
+    freqs = estimator.frequencies()
+    for target in range(fig1_graph.num_nodes):
+        exact = exact_hop_reliability(fig1_graph, [0], target, 2)
+        assert abs(freqs.get(target, 0.0) - exact) < binomial_bound(
+            exact, K_EXACT
+        ), (target, freqs.get(target, 0.0), exact)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_exact_oracle_agreement_allowed(fig1_graph, fig1_names, backend):
+    # Restrict to a candidate set and compare against the exact
+    # reliability of the induced subgraph.
+    removed = fig1_names["v"]
+    allowed = set(range(fig1_graph.num_nodes)) - {removed}
+    induced = fig1_graph.copy()
+    for v, _ in list(induced.successors(removed).items()):
+        induced.remove_arc(removed, v)
+    for u, _ in list(induced.predecessors(removed).items()):
+        induced.remove_arc(u, removed)
+    estimator = ReachabilityFrequencyEstimator(
+        fig1_graph, [0], seed=13, backend=backend, allowed=allowed
+    ).run(K_EXACT)
+    freqs = estimator.frequencies()
+    assert freqs.get(removed, 0.0) == 0.0
+    for target in sorted(allowed):
+        exact = exact_reliability(induced, [0], target)
+        assert abs(freqs.get(target, 0.0) - exact) < binomial_bound(
+            exact, K_EXACT
+        )
+
+
+# ----------------------------------------------------------------------
+# Backend-vs-backend agreement on random ER graphs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("er_seed", [1, 2])
+def test_backends_agree_on_er_graphs(er_seed):
+    n, k = 250, 4000
+    graph = uncertain_gnp(n, 3.0 / n, seed=er_seed)
+    freqs = {
+        backend: ReachabilityFrequencyEstimator(
+            graph, [0], seed=77, backend=backend
+        ).run(k).frequencies()
+        for backend in BACKENDS
+    }
+    # Each estimate carries binomial noise; their difference is bounded
+    # by a sqrt(2)-inflated band around the (unknown) common mean.
+    for node in range(n):
+        a = freqs["python"].get(node, 0.0)
+        b = freqs["numpy"].get(node, 0.0)
+        p = (a + b) / 2.0
+        assert abs(a - b) < math.sqrt(2.0) * binomial_bound(p, k), (
+            node, a, b
+        )
+
+
+# ----------------------------------------------------------------------
+# Backend knob threading through the public entry points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mc_sampling_search_backend(fig1_graph, fig1_names, backend):
+    result = mc_sampling_search(
+        fig1_graph, fig1_names["s"], 0.5, num_samples=4000, seed=3,
+        backend=backend,
+    )
+    # Example 1: RS({s}, 0.5) = {s, u, w}; R(s,u)=0.65 and R(s,w)=0.6
+    # sit comfortably above the threshold, t and v well below.
+    assert fig1_names["u"] in result.nodes
+    assert fig1_names["w"] in result.nodes
+    assert fig1_names["t"] not in result.nodes
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mc_reliability_backend(fig1_graph, fig1_names, backend):
+    estimate = mc_reliability(
+        fig1_graph, fig1_names["s"], fig1_names["u"],
+        num_samples=8000, seed=9, backend=backend,
+    )
+    assert abs(estimate - 0.65) < 0.03  # Example 1: R(s, u) = 0.65
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_verify_sampling_backend(fig1_graph, fig1_names, backend):
+    candidates = {fig1_names["s"], fig1_names["u"], fig1_names["w"]}
+    kept = verify_sampling(
+        fig1_graph, [fig1_names["s"]], 0.4, candidates,
+        num_samples=4000, seed=17, backend=backend,
+    )
+    # s -> u and s -> w don't route through v or t, so restricting to
+    # the candidate set leaves their reliabilities (0.65 / 0.6) intact.
+    assert kept == candidates
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_engine_query_mc_backend(medium_engine, backend):
+    result = medium_engine.query(
+        [0], 0.3, method="mc", num_samples=300, seed=1, backend=backend
+    )
+    assert 0 in result.nodes
+    assert result.method == "mc"
+
+
+def test_engine_query_backends_agree(medium_engine):
+    results = {
+        backend: medium_engine.query(
+            [5], 0.5, method="mc", num_samples=2000, seed=2, backend=backend
+        ).nodes
+        for backend in BACKENDS
+    }
+    # High-confidence members shouldn't flip between backends: allow a
+    # small symmetric difference from nodes sitting on the threshold.
+    disagreement = results["python"] ^ results["numpy"]
+    union = results["python"] | results["numpy"]
+    assert len(disagreement) <= max(2, len(union) // 5)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_expected_spread_backend(fig1_graph, backend):
+    from repro.influence.spread import expected_spread_mc
+
+    spread = expected_spread_mc(
+        fig1_graph, [0], num_samples=8000, seed=4, backend=backend
+    )
+    # sigma({v0}) = 1 + sum_t R(v0, t) over the other five nodes.
+    exact = 1.0 + sum(
+        exact_reliability(fig1_graph, [0], t)
+        for t in range(1, fig1_graph.num_nodes)
+    )
+    assert abs(spread - exact) < 0.15
+
+
+def test_auto_backend_matches_threshold(fig1_graph, medium_graph):
+    small = ReachabilityFrequencyEstimator(fig1_graph, [0], backend="auto")
+    assert small.backend == "python"
+    big = uncertain_gnp(600, 2.0 / 600, seed=8)
+    large = ReachabilityFrequencyEstimator(big, [0], backend="auto")
+    assert large.backend == "numpy"
+    # an `allowed` restriction shrinks the effective problem size
+    restricted = ReachabilityFrequencyEstimator(
+        big, [0], allowed=set(range(50)), backend="auto"
+    )
+    assert restricted.backend == "python"
