@@ -33,6 +33,17 @@ from .errors import (
     FlowError,
     InvalidCapacityError,
     PartitionError,
+    QueryDeadlineError,
+    InjectedFault,
+    BackendUnavailableError,
+)
+from .resilience import (
+    QueryBudget,
+    BudgetClock,
+    FaultPlan,
+    CONFIRMED,
+    REJECTED,
+    UNVERIFIED,
 )
 from .graph.uncertain import UncertainGraph, SubgraphView
 from .core.rqtree import RQTree, ClusterNode
@@ -52,9 +63,12 @@ from .core.outreach import (
     OutreachComputation,
 )
 from .core.verification import (
+    VerificationReport,
     verify_lower_bound,
     verify_lower_bound_packing,
+    verify_lower_bound_report,
     verify_sampling,
+    verify_sampling_report,
 )
 from .core.detection import (
     DetectionResult,
@@ -94,6 +108,16 @@ __all__ = [
     "FlowError",
     "InvalidCapacityError",
     "PartitionError",
+    "QueryDeadlineError",
+    "InjectedFault",
+    "BackendUnavailableError",
+    # resilience
+    "QueryBudget",
+    "BudgetClock",
+    "FaultPlan",
+    "CONFIRMED",
+    "REJECTED",
+    "UNVERIFIED",
     # graph
     "UncertainGraph",
     "SubgraphView",
@@ -114,9 +138,12 @@ __all__ = [
     "general_outreach_upper_bound",
     "combine_upper_bounds",
     "OutreachComputation",
+    "VerificationReport",
     "verify_lower_bound",
+    "verify_lower_bound_report",
     "verify_lower_bound_packing",
     "verify_sampling",
+    "verify_sampling_report",
     "DetectionResult",
     "detect_reliability",
     "reliability_scores",

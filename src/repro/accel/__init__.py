@@ -22,6 +22,19 @@ random streams differently, so the *same seed gives different concrete
 samples on different backends*.  The pure-Python path is the reference
 oracle; the numpy path must agree with it statistically (and with the
 exact enumerator on small graphs) — see ``tests/test_backend_parity.py``.
+
+Failure contract (fallback ladder)
+----------------------------------
+``backend="auto"`` can never fail harder than the pure-Python seed
+code: if the numpy path raises — a real defect or a fault injected at
+the ``"csr.snapshot"`` / ``"mc.kernel.chunk"`` points of
+:mod:`repro.resilience.faultinject` — the estimator logs a structured
+warning on the ``repro.resilience`` logger and re-runs the failed batch
+on the Python reference path, whose seeded RNG the numpy attempt never
+touched (so the fallback answers are byte-identical to
+``backend="python"``).  An *explicit* ``backend="numpy"`` request still
+raises: the caller demanded that implementation, and silently answering
+with another would hide the defect.
 """
 
 from __future__ import annotations

@@ -25,6 +25,7 @@ except ImportError:  # pragma: no cover - numpy is a hard dep in practice
     np = None  # type: ignore[assignment]
 
 from ..graph.uncertain import UncertainGraph
+from ..resilience.faultinject import fault_point
 
 __all__ = ["CSRGraph", "csr_snapshot", "numpy_available"]
 
@@ -128,6 +129,7 @@ def csr_snapshot(graph: UncertainGraph) -> CSRGraph:
     rebuild.  Cost of a rebuild is one pass over the adjacency dicts —
     amortized to nothing across the K worlds of a sampling run.
     """
+    fault_point("csr.snapshot")
     cached: Optional[CSRGraph] = getattr(graph, "_csr_cache", None)
     if cached is not None and cached.version == graph.version:
         return cached

@@ -39,6 +39,7 @@ except ImportError:  # pragma: no cover - numpy is a hard dep in practice
     np = None  # type: ignore[assignment]
 
 from ..graph.uncertain import UncertainGraph
+from ..resilience.faultinject import fault_point
 from .csr import CSRGraph, csr_snapshot
 
 __all__ = ["BatchReachResult", "sample_reach_batch"]
@@ -200,6 +201,7 @@ def sample_reach_batch(
     chunk = _chunk_size(csr, num_worlds)
     done = 0
     while done < num_worlds:
+        fault_point("mc.kernel.chunk")
         size = min(chunk, num_worlds - done)
         visited = _simulate_chunk(
             csr, source_idx, size, rng, allowed_mask, max_hops

@@ -31,6 +31,8 @@ from .core.builder import build_rqtree
 from .core.engine import RQTreeEngine
 from .core.rqtree import RQTree
 from .datasets.registry import dataset_names, load_dataset
+from .errors import ReproError
+from .resilience import QueryBudget
 from .eval.reporting import format_table
 from .graph.io import read_edge_list, write_edge_list
 from .graph.transforms import (
@@ -113,6 +115,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="distance-constrained variant")
     query.add_argument(
         "--multi-source-mode", choices=("greedy", "exact"), default="greedy"
+    )
+    query.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="wall-clock budget for the query; on expiry a partial "
+        "(DEGRADED) answer is printed instead of failing",
+    )
+    query.add_argument(
+        "--max-worlds", type=int, default=None,
+        help="cap on MC verification worlds (budgeted queries only)",
+    )
+    query.add_argument(
+        "--max-candidate-nodes", type=int, default=None,
+        help="cap on the candidate subgraph verification may process",
     )
 
     topk = commands.add_parser(
@@ -235,6 +250,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     engine = _load_engine(args.graph, args.index)
+    budget = None
+    if (
+        args.deadline_ms is not None
+        or args.max_worlds is not None
+        or args.max_candidate_nodes is not None
+    ):
+        budget = QueryBudget(
+            deadline_seconds=(
+                None if args.deadline_ms is None else args.deadline_ms / 1000.0
+            ),
+            max_worlds=args.max_worlds,
+            max_candidate_nodes=args.max_candidate_nodes,
+        )
     start = time.perf_counter()
     result = engine.query(
         args.sources,
@@ -245,22 +273,36 @@ def _cmd_query(args: argparse.Namespace) -> int:
         multi_source_mode=args.multi_source_mode,
         max_hops=args.max_hops,
         backend=args.backend,
+        budget=budget,
     )
     elapsed = time.perf_counter() - start
+    rows = [
+        ("answer size", len(result.nodes)),
+        ("candidates", len(result.candidate_result.candidates)),
+        ("height ratio", result.height_ratio),
+        ("candidate ratio", result.candidate_ratio),
+        ("query time (s)", elapsed),
+    ]
+    if budget is not None:
+        rows += [
+            ("worlds used", result.worlds_used),
+            ("achieved confidence", result.achieved_confidence),
+            ("unverified", len(result.unverified)),
+        ]
     print(
         format_table(
             ["metric", "value"],
-            [
-                ("answer size", len(result.nodes)),
-                ("candidates", len(result.candidate_result.candidates)),
-                ("height ratio", result.height_ratio),
-                ("candidate ratio", result.candidate_ratio),
-                ("query time (s)", elapsed),
-            ],
+            rows,
             title=f"RS({args.sources}, {args.eta}) via rq-tree-{args.method}",
         )
     )
     print("nodes:", " ".join(str(n) for n in sorted(result.nodes)))
+    if result.degraded:
+        # Deadline-expired queries are a *successful* degraded answer:
+        # exit 0, but mark the output unmistakably.
+        print(
+            f"DEGRADED: {result.degraded_reason or 'budget exhausted'}"
+        )
     return 0
 
 
@@ -353,11 +395,21 @@ _HANDLERS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library failures (:class:`ReproError`) are reported as a one-line
+    message on stderr with exit code 2 — never a raw traceback.  A
+    deadline-expired query is *not* a failure: it prints its partial
+    answer with a ``DEGRADED`` marker and exits 0.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = _HANDLERS[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -18,9 +18,12 @@ from .candidates import (
     generate_candidates,
 )
 from .verification import (
+    VerificationReport,
     verify_lower_bound,
     verify_lower_bound_packing,
+    verify_lower_bound_report,
     verify_sampling,
+    verify_sampling_report,
 )
 from .engine import RQTreeEngine, QueryResult
 from .detection import (
@@ -52,9 +55,12 @@ __all__ = [
     "multi_source_candidates_greedy",
     "multi_source_candidates_exact",
     "generate_candidates",
+    "VerificationReport",
     "verify_lower_bound",
+    "verify_lower_bound_report",
     "verify_lower_bound_packing",
     "verify_sampling",
+    "verify_sampling_report",
     "RQTreeEngine",
     "QueryResult",
     "DetectionResult",

@@ -23,10 +23,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import EmptySourceSetError, InvalidThresholdError, NodeNotFoundError
 from ..graph.uncertain import UncertainGraph
+from ..resilience.budget import BudgetClock, QueryBudget
+from ..resilience.faultinject import fault_point
 from .bounds_cache import ClusterBoundsCache
 from .outreach import (
     OutreachComputation,
@@ -93,6 +95,10 @@ class CandidateResult:
     selected_clusters:
         The tree indices of the clusters whose union is the candidate
         set (one for single-source queries).
+    degraded / degraded_reason:
+        Set when a query budget expired mid-traversal and the walk fell
+        back to the root cluster (the whole node set) — still sound
+        (never prunes a true answer), just unpruned.
     """
 
     candidates: Set[int]
@@ -103,6 +109,8 @@ class CandidateResult:
     max_subgraph_arcs: int = 0
     selected_clusters: List[int] = field(default_factory=list)
     trace: List[TraversalStep] = field(default_factory=list)
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
 
     def explain(self) -> str:
         """Human-readable account of the filtering traversal."""
@@ -110,6 +118,7 @@ class CandidateResult:
             f"candidate generation: {self.clusters_visited} cluster(s) "
             f"evaluated, {self.flow_calls} max-flow solve(s), "
             f"|C*| = {len(self.candidates)}"
+            + (f" [DEGRADED: {self.degraded_reason}]" if self.degraded else "")
         ]
         for step in self.trace:
             marker = " <-- accepted" if step.accepted else ""
@@ -120,6 +129,36 @@ class CandidateResult:
         return "\n".join(lines)
 
 
+def _root_fallback(
+    tree: RQTree,
+    reason: str,
+    visited: int,
+    flow_calls: int,
+    max_nodes: int,
+    max_arcs: int,
+    trace: List[TraversalStep],
+) -> CandidateResult:
+    """Degraded-but-sound answer when the budget expires mid-traversal.
+
+    The root cluster (the whole node set) is always a valid candidate
+    set — ``U_out(S, N) = 0`` — so falling back to it can never prune a
+    true answer; it merely forfeits the pruning the walk was buying.
+    """
+    root = tree.clusters[tree.root]
+    return CandidateResult(
+        candidates=set(root.members),
+        clusters_visited=visited,
+        flow_calls=flow_calls,
+        final_upper_bound=0.0,
+        max_subgraph_nodes=max_nodes,
+        max_subgraph_arcs=max_arcs,
+        selected_clusters=[tree.root],
+        trace=trace,
+        degraded=True,
+        degraded_reason=reason,
+    )
+
+
 def single_source_candidates(
     graph: UncertainGraph,
     tree: RQTree,
@@ -127,6 +166,7 @@ def single_source_candidates(
     eta: float,
     engine: str = "dinic",
     bounds_cache: Optional[ClusterBoundsCache] = None,
+    budget: Optional[Union[QueryBudget, BudgetClock]] = None,
 ) -> CandidateResult:
     """Section 4.2: bottom-up traversal from the leaf of *source*.
 
@@ -134,16 +174,26 @@ def single_source_candidates(
     ``U_out({s}, C)`` with Algorithm 1, and stops at the first cluster
     whose bound drops below ``eta``.  The root always qualifies
     (``U_out(S, N) = 0``), so the walk terminates.
+
+    With a *budget* whose deadline expires mid-walk, the traversal
+    degrades to the root cluster (see :func:`_root_fallback`) instead of
+    finishing the climb.
     """
     eta = _check_eta(eta)
     if source not in graph:
         raise NodeNotFoundError(source)
+    clock = BudgetClock.ensure(budget)
     visited = 0
     flow_calls = 0
     max_nodes = 0
     max_arcs = 0
     trace: List[TraversalStep] = []
     for cluster in tree.path_to_root(source):
+        if clock is not None and clock.expired():
+            return _root_fallback(
+                tree, "deadline expired during candidate generation",
+                visited, flow_calls, max_nodes, max_arcs, trace,
+            )
         visited += 1
         if bounds_cache is not None:
             # Source-independent Theorem-5 bound, computed once per
@@ -215,6 +265,7 @@ def multi_source_candidates_greedy(
     eta: float,
     engine: str = "dinic",
     bounds_cache: Optional[ClusterBoundsCache] = None,
+    budget: Optional[Union[QueryBudget, BudgetClock]] = None,
 ) -> CandidateResult:
     """Section 4.3: round-robin multi-cursor heuristic.
 
@@ -224,6 +275,11 @@ def multi_source_candidates_greedy(
     stopping condition of Theorem 3,
     ``1 - Π_i (1 - U_out(C_i ∩ S, C_i)) < η``, is tested.  The returned
     candidate set is the union of the cursors' clusters.
+
+    With a *budget* whose deadline expires before the stopping condition
+    holds, the traversal degrades to the root cluster — stopping with
+    the cursors' current union would be *unsound* (the Theorem-3 bound
+    has not yet dropped below ``eta``, so answers could hide outside).
     """
     eta = _check_eta(eta)
     source_list = list(dict.fromkeys(sources))
@@ -232,6 +288,7 @@ def multi_source_candidates_greedy(
     for s in source_list:
         if s not in graph:
             raise NodeNotFoundError(s)
+    clock = BudgetClock.ensure(budget)
 
     visited = 0
     flow_calls = 0
@@ -287,6 +344,11 @@ def multi_source_candidates_greedy(
         return combine_upper_bounds(c.bound for c in cursors.values())
 
     while combined_bound() >= eta:
+        if clock is not None and clock.expired():
+            return _root_fallback(
+                tree, "deadline expired during candidate generation",
+                visited, flow_calls, max_nodes, max_arcs, trace,
+            )
         # Round-robin: advance the shallowest-progress cursor first so all
         # cursors climb at a similar rate (the paper's parallel traversal);
         # ties broken towards the largest bound (the weakest link).
@@ -345,6 +407,7 @@ def multi_source_candidates_exact(
     eta: float,
     engine: str = "dinic",
     max_frontier: int = 256,
+    budget: Optional[Union[QueryBudget, BudgetClock]] = None,
 ) -> CandidateResult:
     """Problem 2 solved exactly by Pareto dynamic programming.
 
@@ -369,6 +432,7 @@ def multi_source_candidates_exact(
         if s not in graph:
             raise NodeNotFoundError(s)
     source_set = set(source_list)
+    clock = BudgetClock.ensure(budget)
 
     visited = 0
     flow_calls = 0
@@ -399,6 +463,11 @@ def multi_source_candidates_exact(
 
     # Process relevant clusters deepest-first so children precede parents.
     for index in sorted(relevant, key=lambda i: -tree.clusters[i].depth):
+        if clock is not None and clock.expired():
+            return _root_fallback(
+                tree, "deadline expired during candidate generation",
+                visited, flow_calls, max_nodes, max_arcs, [],
+            )
         cluster = tree.clusters[index]
         cluster_sources = source_set & cluster.members
         # Option A: take the cluster itself.
@@ -465,29 +534,35 @@ def generate_candidates(
     engine: str = "dinic",
     multi_source_mode: str = "greedy",
     bounds_cache: Optional[ClusterBoundsCache] = None,
+    budget: Optional[Union[QueryBudget, BudgetClock]] = None,
 ) -> CandidateResult:
     """Dispatch to the appropriate candidate-generation strategy.
 
     Single-node source sets use the Section 4.2 walk; larger sets use
     the greedy heuristic (default) or the exact DP
-    (``multi_source_mode="exact"``).
+    (``multi_source_mode="exact"``).  *budget* (a
+    :class:`~repro.resilience.QueryBudget` or a running clock shared
+    with the rest of the query) bounds the traversal's wall time; on
+    expiry the result degrades to the root cluster, which is sound but
+    unpruned.
     """
+    fault_point("candidates.generate")
     source_list = list(dict.fromkeys(sources))
     if not source_list:
         raise EmptySourceSetError()
     if len(source_list) == 1:
         return single_source_candidates(
             graph, tree, source_list[0], eta,
-            engine=engine, bounds_cache=bounds_cache,
+            engine=engine, bounds_cache=bounds_cache, budget=budget,
         )
     if multi_source_mode == "greedy":
         return multi_source_candidates_greedy(
             graph, tree, source_list, eta,
-            engine=engine, bounds_cache=bounds_cache,
+            engine=engine, bounds_cache=bounds_cache, budget=budget,
         )
     if multi_source_mode == "exact":
         return multi_source_candidates_exact(
-            graph, tree, source_list, eta, engine=engine
+            graph, tree, source_list, eta, engine=engine, budget=budget
         )
     raise ValueError(
         f"unknown multi_source_mode {multi_source_mode!r}; "

@@ -20,18 +20,26 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Union
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 from ..errors import EmptySourceSetError
 from ..graph.uncertain import UncertainGraph
+from ..resilience.budget import (
+    CONFIRMED,
+    REJECTED,
+    UNVERIFIED,
+    BudgetClock,
+    QueryBudget,
+)
 from .builder import BuildReport, build_rqtree
 from .bounds_cache import ClusterBoundsCache
 from .candidates import CandidateResult, generate_candidates
 from .rqtree import RQTree
 from .verification import (
-    verify_lower_bound,
+    VerificationReport,
     verify_lower_bound_packing,
-    verify_sampling,
+    verify_lower_bound_report,
+    verify_sampling_report,
 )
 
 __all__ = ["QueryResult", "RQTreeEngine"]
@@ -59,6 +67,36 @@ class QueryResult:
     #: Depth (distance from the root) of the shallowest cluster selected
     #: by candidate generation; 0 means some cursor climbed to the root.
     min_selected_depth: int = 0
+
+    #: Per-candidate verification statuses (``confirmed`` / ``rejected``
+    #: / ``unverified-candidate``).  ``nodes`` is exactly the confirmed
+    #: set; unverified entries appear only in budgeted queries.
+    statuses: Dict[int, str] = field(default_factory=dict)
+
+    #: True when a query budget forced a partial answer: the deadline
+    #: expired (candidate generation fell back to the root, or
+    #: verification left candidates undecided) or the candidate-subgraph
+    #: cap left candidates unscreened.  The answer set is still sound —
+    #: every confirmed node satisfies the query at the budget's
+    #: confidence — it may just be incomplete.
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
+
+    #: Worlds actually sampled by MC verification (0 for "lb"/"lb+").
+    worlds_used: int = 0
+
+    #: Fraction of candidates that received a definitive verdict
+    #: (1.0 for unbudgeted queries).
+    achieved_confidence: float = 1.0
+
+    #: Numpy-kernel batches retried on the Python reference path after a
+    #: kernel failure (see the fallback ladder in :mod:`repro.accel`).
+    backend_fallbacks: int = 0
+
+    @property
+    def unverified(self) -> Set[int]:
+        """Candidates the budget ran out on (empty when not degraded)."""
+        return {n for n, s in self.statuses.items() if s == UNVERIFIED}
 
     @property
     def height_ratio(self) -> float:
@@ -94,6 +132,12 @@ class QueryResult:
                 f"in {self.verification_seconds * 1000:.2f} ms"
             ),
         ]
+        if self.degraded:
+            lines.append(
+                f"DEGRADED: {self.degraded_reason or 'budget exhausted'} "
+                f"({len(self.unverified)} unverified candidate(s), "
+                f"achieved confidence {self.achieved_confidence:.0%})"
+            )
         return "\n".join(lines)
 
     @property
@@ -182,6 +226,7 @@ class RQTreeEngine:
         multi_source_mode: str = "greedy",
         max_hops: Optional[int] = None,
         backend: str = "auto",
+        budget: Optional[QueryBudget] = None,
     ) -> QueryResult:
         """Answer the reliability-search query ``RS(S, eta)``.
 
@@ -215,8 +260,17 @@ class RQTreeEngine:
             (``"auto"``/``"python"``/``"numpy"``; see
             :mod:`repro.accel`).  Ignored for ``"lb"``/``"lb+"``,
             which never sample.
+        budget:
+            Optional :class:`~repro.resilience.QueryBudget` bounding the
+            whole query (wall-clock deadline spanning filtering *and*
+            verification, world cap, candidate-subgraph cap).  A
+            budgeted query never raises on expiry: it returns a partial
+            :class:`QueryResult` with ``degraded=True`` and a per-node
+            status for every candidate.  ``budget=None`` reproduces the
+            unbudgeted (seed) behaviour exactly.
         """
         source_list = self._normalize_sources(sources)
+        clock = budget.start() if budget is not None else None
         start = time.perf_counter()
         candidate_result = generate_candidates(
             self.graph,
@@ -226,17 +280,19 @@ class RQTreeEngine:
             engine=self.flow_engine,
             multi_source_mode=multi_source_mode,
             bounds_cache=self.bounds_cache,
+            budget=clock,
         )
         candidate_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
         if method == "lb":
-            answer = verify_lower_bound(
+            report = verify_lower_bound_report(
                 self.graph,
                 source_list,
                 eta,
                 candidate_result.candidates,
                 max_hops=max_hops,
+                budget=clock,
             )
         elif method == "lb+":
             if max_hops is not None:
@@ -244,14 +300,11 @@ class RQTreeEngine:
                     "max_hops is not supported with method='lb+'; "
                     "use 'lb' or 'mc'"
                 )
-            answer = verify_lower_bound_packing(
-                self.graph,
-                source_list,
-                eta,
-                candidate_result.candidates,
+            report = self._packing_report(
+                source_list, eta, candidate_result.candidates, clock
             )
         elif method == "mc":
-            answer = verify_sampling(
+            report = verify_sampling_report(
                 self.graph,
                 source_list,
                 eta,
@@ -260,6 +313,7 @@ class RQTreeEngine:
                 seed=seed,
                 max_hops=max_hops,
                 backend=backend,
+                budget=clock,
             )
         else:
             raise ValueError(
@@ -274,8 +328,10 @@ class RQTreeEngine:
             ),
             default=0,
         )
+        degraded = candidate_result.degraded or report.degraded
+        degraded_reason = candidate_result.degraded_reason or report.degraded_reason
         return QueryResult(
-            nodes=answer,
+            nodes=report.kept,
             eta=eta,
             sources=source_list,
             method=method,
@@ -285,6 +341,49 @@ class RQTreeEngine:
             tree_height=self.tree.height,
             num_graph_nodes=self.graph.num_nodes,
             min_selected_depth=min_depth,
+            statuses=report.statuses,
+            degraded=degraded,
+            degraded_reason=degraded_reason,
+            worlds_used=report.worlds_used,
+            achieved_confidence=report.achieved_confidence,
+            backend_fallbacks=report.backend_fallbacks,
+        )
+
+    def _packing_report(
+        self,
+        source_list: List[int],
+        eta: float,
+        candidates: Set[int],
+        clock: Optional[BudgetClock],
+    ) -> VerificationReport:
+        """Budget shim for the edge-packing verifier.
+
+        The packing pass is a per-candidate Dijkstra loop with no
+        incremental result to salvage, so the deadline is honoured at
+        phase granularity: an already-expired clock skips the pass and
+        reports every non-source candidate unverified.
+        """
+        source_set = set(source_list)
+        if clock is not None and clock.expired():
+            statuses = {
+                node: (CONFIRMED if node in source_set else UNVERIFIED)
+                for node in candidates
+            }
+            return VerificationReport(
+                kept={n for n, s in statuses.items() if s == CONFIRMED},
+                statuses=statuses,
+                degraded=True,
+                degraded_reason="deadline expired before verification",
+            )
+        answer = verify_lower_bound_packing(
+            self.graph, source_list, eta, candidates
+        )
+        return VerificationReport(
+            kept=answer,
+            statuses={
+                node: (CONFIRMED if node in answer else REJECTED)
+                for node in candidates
+            },
         )
 
     @staticmethod

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Union
 
 from ..errors import IndexCorruptionError, NodeNotFoundError
+from ..resilience.faultinject import fault_point
 
 __all__ = ["ClusterNode", "RQTree"]
 
@@ -272,6 +273,7 @@ class RQTree:
         Internal members are reconstructed bottom-up on load, which keeps
         the document size ``O(n + #clusters)`` instead of ``O(n log n)``.
         """
+        fault_point("rqtree.serialize")
         return {
             "format": "repro-rqtree",
             "version": 1,
@@ -286,6 +288,7 @@ class RQTree:
     @classmethod
     def from_json(cls, document: dict) -> "RQTree":
         """Rebuild a tree from :meth:`to_json` output and validate it."""
+        fault_point("rqtree.deserialize")
         if document.get("format") != "repro-rqtree":
             raise IndexCorruptionError(
                 f"unrecognized index format {document.get('format')!r}"

@@ -20,9 +20,14 @@ positives; verification filters them:
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Set
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Set, Tuple, Union
 
-from ..errors import EmptySourceSetError, InvalidThresholdError
+from ..errors import (
+    EmptySourceSetError,
+    InvalidThresholdError,
+    QueryDeadlineError,
+)
 from ..graph.paths import (
     hop_bounded_path_probabilities,
     most_likely_path,
@@ -30,12 +35,28 @@ from ..graph.paths import (
 )
 from ..graph.sampling import ReachabilityFrequencyEstimator
 from ..graph.uncertain import UncertainGraph
+from ..resilience.budget import (
+    CONFIRMED,
+    REJECTED,
+    UNVERIFIED,
+    BudgetClock,
+    QueryBudget,
+    wilson_interval,
+)
 
 __all__ = [
+    "VerificationReport",
     "verify_lower_bound",
+    "verify_lower_bound_report",
     "verify_lower_bound_packing",
     "verify_sampling",
+    "verify_sampling_report",
 ]
+
+#: Worlds per chunk of budgeted MC verification: a multiple of the
+#: numpy kernel's 8-world byte lanes, small enough that deadline checks
+#: and early-stopping tests run every few milliseconds of sampling.
+_BUDGET_CHUNK_WORLDS = 256
 
 #: Relative tolerance when comparing a path probability against eta;
 #: compensates for the exp(log(...)) round trip in the Dijkstra weights.
@@ -44,11 +65,100 @@ _ETA_SLACK = 1e-9
 
 def _check(eta: float, sources: Sequence[int]) -> Set[int]:
     if math.isnan(eta) or not 0.0 < eta < 1.0:
-        raise InvalidThresholdError(eta)
+        raise InvalidThresholdError(eta, context="verification")
     source_set = set(sources)
     if not source_set:
         raise EmptySourceSetError()
     return source_set
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one verification phase, with per-node statuses.
+
+    Attributes
+    ----------
+    kept:
+        The answer set — exactly the nodes whose status is
+        :data:`~repro.resilience.CONFIRMED`.
+    statuses:
+        Every candidate mapped to ``confirmed`` / ``rejected`` /
+        ``unverified-candidate``.  Unverified nodes only appear under a
+        budget (deadline expiry or the candidate-subgraph cap); they
+        are still candidates — filtering admits no false negatives —
+        just unscreened ones.
+    degraded / degraded_reason:
+        Whether the budget forced a partial answer, and why.
+    worlds_used:
+        Worlds actually sampled (MC only; 0 for the lower-bound
+        verifiers).
+    backend_fallbacks:
+        Numpy-kernel batches that were retried on the Python reference
+        path (see :mod:`repro.accel`).
+    """
+
+    kept: Set[int]
+    statuses: Dict[int, str] = field(default_factory=dict)
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
+    worlds_used: int = 0
+    backend_fallbacks: int = 0
+
+    @property
+    def unverified(self) -> Set[int]:
+        """Candidates the budget ran out on."""
+        return {n for n, s in self.statuses.items() if s == UNVERIFIED}
+
+    @property
+    def achieved_confidence(self) -> float:
+        """Fraction of candidates that received a definitive verdict
+        (1.0 for unbudgeted runs)."""
+        if not self.statuses:
+            return 1.0
+        decided = sum(1 for s in self.statuses.values() if s != UNVERIFIED)
+        return decided / len(self.statuses)
+
+
+def _verification_subset(
+    source_set: Set[int],
+    candidates: Set[int],
+    clock: Optional[BudgetClock],
+) -> Tuple[Set[int], Set[int]]:
+    """Apply the budget's candidate-subgraph cap.
+
+    Returns ``(subset, dropped)``: the nodes verification will process
+    and the overflow reported as unverified.  Sources are kept first
+    (they are answers by definition), then ascending node id — a
+    deterministic choice so budgeted queries are reproducible.
+    """
+    cap = None if clock is None else clock.budget.max_candidate_nodes
+    if cap is None or len(candidates) <= cap:
+        return candidates, set()
+    subset = set(source_set & candidates)
+    for node in sorted(candidates):
+        if len(subset) >= cap:
+            break
+        subset.add(node)
+    return subset, candidates - subset
+
+
+def _raise_if_partial(
+    report: VerificationReport, clock: Optional[BudgetClock]
+) -> Set[int]:
+    """Guard for the set-returning verifiers: a plain ``Set[int]``
+    cannot distinguish *rejected* from *ran out of budget*, so a partial
+    report raises :class:`QueryDeadlineError` instead of silently
+    under-answering.  (The engine uses the ``*_report`` variants, which
+    degrade gracefully.)"""
+    if report.unverified:
+        elapsed = 0.0 if clock is None else clock.elapsed()
+        deadline = (
+            math.inf
+            if clock is None or clock.budget.deadline_seconds is None
+            else clock.budget.deadline_seconds
+        )
+        raise QueryDeadlineError(elapsed, deadline)
+    return report.kept
 
 
 def verify_lower_bound(
@@ -57,6 +167,7 @@ def verify_lower_bound(
     eta: float,
     candidates: Set[int],
     max_hops: Optional[int] = None,
+    budget: Optional[Union[QueryBudget, BudgetClock]] = None,
 ) -> Set[int]:
     """Keep candidates whose most-likely-path probability is >= eta.
 
@@ -73,30 +184,90 @@ def verify_lower_bound(
     count, computed by a layered hop-bounded relaxation instead of
     Dijkstra.  The lower-bound property (Theorem 4) carries over
     verbatim because a length-bounded path is still a single path.
+
+    With a *budget* that runs out before every candidate is screened,
+    this set-returning form raises :class:`QueryDeadlineError` (it has
+    no way to flag the unscreened rest); use
+    :func:`verify_lower_bound_report` for graceful partial answers.
+    """
+    clock = BudgetClock.ensure(budget)
+    report = verify_lower_bound_report(
+        graph, sources, eta, candidates, max_hops=max_hops, budget=clock
+    )
+    return _raise_if_partial(report, clock)
+
+
+def verify_lower_bound_report(
+    graph: UncertainGraph,
+    sources: Sequence[int],
+    eta: float,
+    candidates: Set[int],
+    max_hops: Optional[int] = None,
+    budget: Optional[Union[QueryBudget, BudgetClock]] = None,
+) -> VerificationReport:
+    """:func:`verify_lower_bound` with per-node statuses and graceful
+    budget handling.
+
+    The most-likely-path pass is one bulk multi-source Dijkstra — too
+    coarse to interrupt — so the deadline is honoured at phase
+    granularity: an already-expired budget skips the pass entirely and
+    reports every non-source candidate :data:`UNVERIFIED` (sources stay
+    :data:`CONFIRMED`; ``R(S, s) = 1`` needs no computation).  The
+    budget's ``max_candidate_nodes`` cap restricts the Dijkstra to a
+    subset, which keeps the bound sound (fewer paths available, so the
+    bound can only shrink) — capped-out candidates are likewise
+    reported unverified rather than rejected.
     """
     source_set = _check(eta, sources)
+    clock = BudgetClock.ensure(budget)
+    subset, dropped = _verification_subset(source_set, candidates, clock)
+    statuses: Dict[int, str] = {node: UNVERIFIED for node in dropped}
+
+    if clock is not None and clock.expired():
+        for node in subset:
+            statuses[node] = (
+                CONFIRMED if node in source_set else UNVERIFIED
+            )
+        kept = {n for n, s in statuses.items() if s == CONFIRMED}
+        return VerificationReport(
+            kept=kept,
+            statuses=statuses,
+            degraded=True,
+            degraded_reason="deadline expired before verification",
+        )
+
     cutoff = eta * (1.0 - _ETA_SLACK)
     if max_hops is None:
         probabilities = most_likely_path_probabilities(
             graph,
-            source_set & candidates,
-            allowed=candidates,
+            source_set & subset,
+            allowed=subset,
             min_probability=cutoff,
         )
     else:
         probabilities = hop_bounded_path_probabilities(
             graph,
-            source_set & candidates,
+            source_set & subset,
             max_hops,
-            allowed=candidates,
+            allowed=subset,
             min_probability=cutoff,
         )
-    threshold = eta * (1.0 - _ETA_SLACK)
-    return {
+    kept = {
         node
         for node, probability in probabilities.items()
-        if probability >= threshold
+        if probability >= cutoff
     }
+    for node in subset:
+        statuses[node] = CONFIRMED if node in kept else REJECTED
+    return VerificationReport(
+        kept=kept,
+        statuses=statuses,
+        degraded=bool(dropped),
+        degraded_reason=(
+            "candidate-subgraph cap left candidates unverified"
+            if dropped else None
+        ),
+    )
 
 
 def verify_lower_bound_packing(
@@ -181,6 +352,7 @@ def verify_sampling(
     seed: Optional[int] = None,
     max_hops: Optional[int] = None,
     backend: str = "auto",
+    budget: Optional[Union[QueryBudget, BudgetClock]] = None,
 ) -> Set[int]:
     """Monte-Carlo verification on the candidate-induced subgraph.
 
@@ -191,17 +363,138 @@ def verify_sampling(
     ``K = 1000``.  *backend* selects the sampling implementation
     (:mod:`repro.accel`); ``"auto"`` counts the candidate set, not the
     whole graph, when deciding whether the batched kernel pays off.
+
+    With a *budget* that runs out before every candidate is decided,
+    this set-returning form raises :class:`QueryDeadlineError`; use
+    :func:`verify_sampling_report` for graceful partial answers.
+    """
+    clock = BudgetClock.ensure(budget)
+    report = verify_sampling_report(
+        graph, sources, eta, candidates,
+        num_samples=num_samples, seed=seed, max_hops=max_hops,
+        backend=backend, budget=clock,
+    )
+    return _raise_if_partial(report, clock)
+
+
+def verify_sampling_report(
+    graph: UncertainGraph,
+    sources: Sequence[int],
+    eta: float,
+    candidates: Set[int],
+    num_samples: int = 1000,
+    seed: Optional[int] = None,
+    max_hops: Optional[int] = None,
+    backend: str = "auto",
+    budget: Optional[Union[QueryBudget, BudgetClock]] = None,
+) -> VerificationReport:
+    """:func:`verify_sampling` with per-node statuses, chunked sampling,
+    early stopping, and graceful budget handling.
+
+    Without a budget this is *exactly* the seed behaviour: one
+    ``estimator.run(K)`` call (so the random stream is consumed
+    identically) thresholded at ``eta * K``, every candidate reported
+    confirmed or rejected.
+
+    With a budget, sampling proceeds in chunks of
+    :data:`_BUDGET_CHUNK_WORLDS` worlds on one continuous estimator
+    stream (the numpy kernel's byte lanes are reused across chunks).
+    After each chunk every still-undecided candidate's Wilson score
+    interval (at the budget's confidence level) is tested against
+    ``eta``: an interval clear of ``eta`` settles the node early, and
+    sampling stops as soon as no node is undecided — reliabilities far
+    from the threshold are typically settled within a chunk or two.
+    On deadline expiry (or the ``max_worlds`` cap) the loop stops where
+    it is; decided nodes keep their verdicts, the rest are reported
+    :data:`UNVERIFIED`, and the report is marked degraded.  A run whose
+    world cap is exhausted *without* the deadline expiring settles the
+    remaining undecided nodes by the seed's count-threshold rule — that
+    is a completed (coarser) estimate, not a partial one.
     """
     source_set = _check(eta, sources)
     if num_samples <= 0:
         raise ValueError(f"num_samples must be positive, got {num_samples}")
+    clock = BudgetClock.ensure(budget)
+    subset, dropped = _verification_subset(source_set, candidates, clock)
+    statuses: Dict[int, str] = {node: UNVERIFIED for node in dropped}
+    present_sources = source_set & subset
     estimator = ReachabilityFrequencyEstimator(
         graph,
-        sorted(source_set & candidates),
+        sorted(present_sources),
         seed=seed,
-        allowed=candidates,
+        allowed=subset,
         max_hops=max_hops,
         backend=backend,
     )
-    estimator.run(num_samples)
-    return estimator.nodes_above(eta)
+
+    if clock is None:
+        estimator.run(num_samples)
+        kept = estimator.nodes_above(eta)
+        for node in subset:
+            statuses[node] = CONFIRMED if node in kept else REJECTED
+        return VerificationReport(
+            kept=kept,
+            statuses=statuses,
+            worlds_used=num_samples,
+            backend_fallbacks=estimator.fallbacks,
+        )
+
+    target = num_samples
+    if clock.budget.max_worlds is not None:
+        target = min(target, clock.budget.max_worlds)
+    confidence = clock.budget.confidence
+    undecided = set(subset)
+    # Sources are answers by definition (R(S, s) = 1): confirm them up
+    # front so a zero-world degraded run still reports them correctly.
+    for node in present_sources:
+        statuses[node] = CONFIRMED
+        undecided.discard(node)
+    done = 0
+    while done < target and undecided and not clock.expired():
+        step = min(_BUDGET_CHUNK_WORLDS, target - done)
+        estimator.run(step)
+        done += step
+        counts = estimator.counts()
+        for node in list(undecided):
+            low, high = wilson_interval(
+                counts.get(node, 0), done, confidence
+            )
+            if low > eta:
+                statuses[node] = CONFIRMED
+                undecided.discard(node)
+            elif high < eta:
+                statuses[node] = REJECTED
+                undecided.discard(node)
+
+    degraded_reason: Optional[str] = None
+    if undecided:
+        if done >= target:
+            # World budget exhausted with time to spare: fall back to
+            # the seed's count-threshold rule — a completed estimate at
+            # reduced sample size, not a partial answer.
+            counts = estimator.counts()
+            threshold = eta * done
+            for node in undecided:
+                statuses[node] = (
+                    CONFIRMED if counts.get(node, 0) >= threshold
+                    else REJECTED
+                )
+            undecided = set()
+        else:
+            for node in undecided:
+                statuses[node] = UNVERIFIED
+            degraded_reason = (
+                "deadline expired during MC verification "
+                f"({done}/{target} worlds)"
+            )
+    if dropped and degraded_reason is None:
+        degraded_reason = "candidate-subgraph cap left candidates unverified"
+    kept = {n for n, s in statuses.items() if s == CONFIRMED}
+    return VerificationReport(
+        kept=kept,
+        statuses=statuses,
+        degraded=bool(undecided) or bool(dropped),
+        degraded_reason=degraded_reason,
+        worlds_used=done,
+        backend_fallbacks=estimator.fallbacks,
+    )

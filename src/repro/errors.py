@@ -36,12 +36,20 @@ class InvalidProbabilityError(GraphError, ValueError):
 
 
 class InvalidThresholdError(ReproError, ValueError):
-    """A reliability threshold eta lies outside the open interval (0, 1)."""
+    """A reliability threshold eta lies outside the open interval (0, 1).
 
-    def __init__(self, value: float) -> None:
+    Mirrors :class:`InvalidProbabilityError`: the offending value is kept
+    on the exception (``.value``), together with optional context naming
+    where the threshold came from (``.context``), and both appear in the
+    message.
+    """
+
+    def __init__(self, value: float, context: object = None) -> None:
         self.value = value
+        self.context = context
+        where = f" in {context!r}" if context is not None else ""
         super().__init__(
-            f"reliability threshold eta must be in (0, 1), got {value!r}"
+            f"reliability threshold eta must be in (0, 1), got {value!r}{where}"
         )
 
 
@@ -83,6 +91,47 @@ class InvalidCapacityError(FlowError, ValueError):
 
 class PartitionError(ReproError):
     """The balanced partitioner received an unpartitionable input."""
+
+
+class QueryDeadlineError(ReproError):
+    """A query budget's wall-clock deadline expired where no partial
+    answer can be expressed.
+
+    The engine itself never raises this: :meth:`RQTreeEngine.query`
+    degrades gracefully, returning a partial :class:`QueryResult` with
+    per-node statuses.  The error exists for the *set-returning* public
+    verifiers (:func:`repro.core.verification.verify_lower_bound`,
+    :func:`~repro.core.verification.verify_sampling`), whose plain
+    ``Set[int]`` return type cannot distinguish "rejected" from
+    "ran out of time" — they raise instead of silently under-answering.
+    """
+
+    def __init__(self, elapsed: float, deadline: float) -> None:
+        self.elapsed = elapsed
+        self.deadline = deadline
+        super().__init__(
+            f"query deadline of {deadline:.6g} s expired after "
+            f"{elapsed:.6g} s with no way to return a partial answer"
+        )
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A deliberate failure raised by the fault-injection harness.
+
+    Never raised in production: only an active
+    :class:`repro.resilience.FaultPlan` can trigger it, at one of the
+    named injection points compiled into the library
+    (:data:`repro.resilience.faultinject.INJECTION_POINTS`).  Tests use
+    it to prove degradation paths — backend fallback, partial results,
+    clean :class:`ReproError` surfaces — end to end.
+    """
+
+    def __init__(self, point: str, hit: int) -> None:
+        self.point = point
+        self.hit = hit
+        super().__init__(
+            f"injected fault at point {point!r} (hit #{hit})"
+        )
 
 
 class BackendUnavailableError(ReproError, ValueError):

@@ -19,12 +19,16 @@ a distribution over deterministic subgraphs: world ``G`` keeps each arc
 
 from __future__ import annotations
 
+import logging
 import random
 from collections import Counter, deque
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..accel import resolve_backend, sample_reach_batch
 from .uncertain import UncertainGraph, WeightedArc
+
+#: Structured warnings about degraded execution (backend fallback).
+_LOGGER = logging.getLogger("repro.resilience")
 
 __all__ = [
     "WorldSampler",
@@ -164,6 +168,15 @@ class ReachabilityFrequencyEstimator:
         Both backends are deterministic per seed and draw from the same
         distribution, but their concrete samples differ for a given
         seed (they consume the random stream in different orders).
+
+    Failure behaviour: when ``backend="auto"`` resolved to numpy and the
+    kernel raises (a defect, or an injected fault), the estimator logs a
+    warning on the ``repro.resilience`` logger and re-runs the failed
+    batch — and everything after it — on the Python reference path.
+    The Python RNG is seeded at construction and untouched by numpy
+    attempts, so a fallback run is byte-identical to one that requested
+    ``backend="python"`` up front.  An explicit ``backend="numpy"``
+    request propagates the failure instead.
     """
 
     def __init__(
@@ -184,6 +197,7 @@ class ReachabilityFrequencyEstimator:
             if allowed is None
             else min(graph.num_nodes, len(allowed))
         )
+        self._requested_backend = backend
         self._backend = resolve_backend(backend, effective_nodes)
         self._rng = random.Random(seed)
         if self._backend == "numpy":
@@ -192,6 +206,7 @@ class ReachabilityFrequencyEstimator:
             self._np_rng = numpy.random.default_rng(seed)
         self._counts: Counter = Counter()
         self._num_worlds = 0
+        self._fallbacks = 0
 
     @property
     def num_worlds(self) -> int:
@@ -203,32 +218,66 @@ class ReachabilityFrequencyEstimator:
         """The resolved backend (``"python"`` or ``"numpy"``)."""
         return self._backend
 
+    @property
+    def fallbacks(self) -> int:
+        """How many batches were retried on the Python reference path
+        after a numpy-kernel failure (always 0 for explicit backends)."""
+        return self._fallbacks
+
+    def counts(self) -> Dict[int, int]:
+        """Raw per-node hit counts accumulated so far (a copy)."""
+        return dict(self._counts)
+
     def run(self, num_worlds: int) -> "ReachabilityFrequencyEstimator":
         """Sample *num_worlds* additional worlds, accumulating counts."""
         if self._backend == "numpy":
-            batch = sample_reach_batch(
-                self._graph,
-                self._sources,
-                num_worlds,
-                self._np_rng,
-                allowed=self._allowed,
-                max_hops=self._max_hops,
-            )
-            hit = batch.counts.nonzero()[0]
-            self._counts.update(
-                dict(zip(hit.tolist(), batch.counts[hit].tolist()))
-            )
-        else:
-            counts = self._counts
-            for _ in range(num_worlds):
-                reached = sample_reachable(
+            try:
+                batch = sample_reach_batch(
                     self._graph,
                     self._sources,
-                    self._rng,
-                    self._allowed,
+                    num_worlds,
+                    self._np_rng,
+                    allowed=self._allowed,
                     max_hops=self._max_hops,
                 )
-                counts.update(reached)
+            except Exception as exc:
+                if self._requested_backend != "auto":
+                    raise
+                # Degrade, don't die: auto promised "at least as good as
+                # the seed code".  The Python RNG was seeded at
+                # construction and never consumed by numpy attempts, so
+                # from here on the run is byte-identical to a
+                # backend="python" one.
+                _LOGGER.warning(
+                    "numpy sampling backend failed; falling back to the "
+                    "python reference path",
+                    extra={
+                        "event": "backend_fallback",
+                        "error_type": type(exc).__name__,
+                        "error": str(exc),
+                        "worlds": num_worlds,
+                        "fallback_backend": "python",
+                    },
+                )
+                self._backend = "python"
+                self._fallbacks += 1
+            else:
+                hit = batch.counts.nonzero()[0]
+                self._counts.update(
+                    dict(zip(hit.tolist(), batch.counts[hit].tolist()))
+                )
+                self._num_worlds += num_worlds
+                return self
+        counts = self._counts
+        for _ in range(num_worlds):
+            reached = sample_reachable(
+                self._graph,
+                self._sources,
+                self._rng,
+                self._allowed,
+                max_hops=self._max_hops,
+            )
+            counts.update(reached)
         self._num_worlds += num_worlds
         return self
 
