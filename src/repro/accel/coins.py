@@ -1,0 +1,145 @@
+"""Shareable, deterministic coin blocks for cross-query world batching.
+
+The batched MC kernel (:mod:`repro.accel.mc_kernel`) spends most of its
+time materializing arc coins: one ``Generator.random`` draw of shape
+``(num_arcs, worlds)`` per chunk, compared against the arc
+probabilities and bit-packed.  Those coins depend only on ``(graph
+version, seed, chunk partition)`` — *not* on the query's sources,
+candidate set, or hop budget — so concurrent queries that sample the
+same number of worlds from the same seed over the same graph version
+would each draw an identical coin matrix.
+
+:class:`CoinBlock` shares that draw.  It owns one
+``numpy.random.default_rng(seed)`` stream and materializes packed coin
+chunks lazily, in the exact order and shapes the kernel would have
+drawn them itself; every consumer passing the block as
+``coin_source=`` to :func:`repro.accel.mc_kernel.sample_reach_batch`
+gets bit-identical coins to a private draw from the same seed.  The
+first consumer to need a chunk pays for it; the rest reuse the cached
+array.  Per-query answers are therefore *byte-identical* to serial,
+unshared execution — the whole point of the serving layer's
+concurrent-vs-serial parity guarantee.
+
+Alignment contract: all consumers of one block must request the same
+chunk partition, which holds automatically when they call
+``sample_reach_batch`` with the same ``num_worlds`` on the same graph
+version (the partition is a pure function of both).  Misaligned
+requests raise instead of silently desynchronizing the stream; the
+estimator's ``backend="auto"`` fallback then degrades that query to
+the Python reference path rather than corrupting anyone's answer.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+    np = None  # type: ignore[assignment]
+
+from .csr import CSRGraph
+
+__all__ = ["CoinBlock"]
+
+
+class CoinBlock:
+    """Lazily materialized packed arc coins for one sampling stream.
+
+    Parameters
+    ----------
+    seed:
+        The per-query verification seed all sharing queries use; the
+        block's stream is ``numpy.random.default_rng(seed)``.
+    num_worlds:
+        Total worlds of the sampling runs sharing this block (their
+        common ``num_samples``); bounds the block's memory.
+
+    Thread-safe: chunk materialization is serialized on an internal
+    lock; returned arrays are read-only and shared by reference.
+    """
+
+    def __init__(self, seed: Optional[int], num_worlds: int) -> None:
+        if np is None:  # pragma: no cover - numpy is a hard dep in practice
+            raise RuntimeError("numpy is required for shared coin blocks")
+        if num_worlds <= 0:
+            raise ValueError(f"num_worlds must be positive, got {num_worlds}")
+        self.seed = seed
+        self.num_worlds = num_worlds
+        self._lock = threading.Lock()
+        self._rng = np.random.default_rng(seed)
+        self._chunks: Dict[int, "np.ndarray"] = {}
+        self._next_start = 0
+        self._bound_version: Optional[int] = None
+        self._bound_arcs: Optional[int] = None
+        #: Chunks drawn / chunk requests served from cache (metrics).
+        self.draws = 0
+        self.hits = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the materialized chunks."""
+        with self._lock:
+            return sum(chunk.nbytes for chunk in self._chunks.values())
+
+    def coins(self, csr: CSRGraph, start: int, size: int) -> "np.ndarray":
+        """Packed coins for worlds ``start .. start+size-1``.
+
+        Returns the ``uint8[num_arcs, ceil(size/8)]`` array the kernel
+        would have produced from its own ``default_rng(seed)`` at the
+        same stream position — drawn on first request, cached after.
+        """
+        if size <= 0 or start < 0 or start + size > self.num_worlds:
+            raise ValueError(
+                f"chunk [{start}, {start + size}) outside the block's "
+                f"{self.num_worlds} worlds"
+            )
+        with self._lock:
+            if self._bound_version is None:
+                self._bound_version = csr.version
+                self._bound_arcs = csr.num_arcs
+            elif (
+                csr.version != self._bound_version
+                or csr.num_arcs != self._bound_arcs
+            ):
+                raise RuntimeError(
+                    "coin block bound to graph version "
+                    f"{self._bound_version} used with version {csr.version}; "
+                    "the graph mutated between sharing queries"
+                )
+            cached = self._chunks.get(start)
+            if cached is not None:
+                if cached.shape[1] != (size + 7) // 8:
+                    raise RuntimeError(
+                        "misaligned chunk request: consumers of one coin "
+                        "block must use the same chunk partition"
+                    )
+                self.hits += 1
+                return cached
+            if start != self._next_start:
+                raise RuntimeError(
+                    f"non-sequential first request for chunk at {start} "
+                    f"(next undrawn is {self._next_start}); consumers of "
+                    "one coin block must use the same chunk partition"
+                )
+            # Identical call shape and dtype to the kernel's private
+            # draw, so the bits match a per-query rng bit for bit.
+            chunk = np.packbits(
+                self._rng.random(
+                    (csr.num_arcs, size), dtype=np.float32
+                ) < csr.rev_probs_f32[:, None],
+                axis=1,
+            )
+            chunk.setflags(write=False)
+            self._chunks[start] = chunk
+            self._next_start = start + size
+            self.draws += 1
+            return chunk
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CoinBlock(seed={self.seed}, worlds={self.num_worlds}, "
+            f"chunks={len(self._chunks)}, draws={self.draws}, "
+            f"hits={self.hits})"
+        )

@@ -121,6 +121,11 @@ class CSRGraph:
         )
 
 
+#: How often a snapshot build is retried when a concurrent mutation is
+#: detected mid-pack before giving up with a clear error.
+_BUILD_RETRIES = 8
+
+
 def csr_snapshot(graph: UncertainGraph) -> CSRGraph:
     """The CSR snapshot of *graph*, building (and caching) it if needed.
 
@@ -128,11 +133,37 @@ def csr_snapshot(graph: UncertainGraph) -> CSRGraph:
     ``graph.version`` is unchanged; any mutation makes the next call
     rebuild.  Cost of a rebuild is one pass over the adjacency dicts —
     amortized to nothing across the K worlds of a sampling run.
+
+    Thread safety: build and cache replacement are serialized on a
+    per-graph lock, so concurrent snapshotters (the serving layer's
+    worker pool) share one build per graph version and a torn snapshot
+    — one whose pack raced a mutation on another thread — is never
+    cached *or* returned.  A mutation observed mid-build triggers a
+    bounded retry; a graph mutating faster than it can be packed is a
+    caller-side race and surfaces as a ``RuntimeError`` rather than
+    silently inconsistent arrays.
     """
+    from ..service.metrics import get_registry
+
     fault_point("csr.snapshot")
-    cached: Optional[CSRGraph] = getattr(graph, "_csr_cache", None)
-    if cached is not None and cached.version == graph.version:
-        return cached
-    snapshot = CSRGraph(graph)
-    graph._csr_cache = snapshot
-    return snapshot
+    with graph._csr_lock:
+        cached: Optional[CSRGraph] = graph._csr_cache
+        if cached is not None and cached.version == graph.version:
+            get_registry().counter("accel.csr_cache_hits").inc()
+            return cached
+        for _ in range(_BUILD_RETRIES):
+            version = graph.version
+            try:
+                snapshot = CSRGraph(graph)
+            except Exception:
+                if graph.version == version:
+                    raise  # a genuine build error, not a racing mutation
+                continue
+            if graph.version == version:
+                graph._csr_cache = snapshot
+                get_registry().counter("accel.csr_builds").inc()
+                return snapshot
+        raise RuntimeError(
+            "graph mutated continuously during CSR snapshot build; "
+            "serialize mutations against sampling"
+        )

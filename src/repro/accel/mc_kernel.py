@@ -83,6 +83,62 @@ def _chunk_size(csr: CSRGraph, num_worlds: int) -> int:
     return max(_MIN_CHUNK, min(_MAX_CHUNK, chunk, num_worlds))
 
 
+class _ArcPlan:
+    """Per-call propagation plan: which rev-CSR arcs can ever fire.
+
+    With an ``allowed`` restriction (RQ-tree-MC verifies inside the
+    candidate-induced subgraph, typically a few dozen nodes of a
+    many-thousand-node graph) only arcs with *both* endpoints allowed
+    can propagate anything: the frontier never holds a disallowed
+    source bit, and disallowed targets are masked out anyway.  Slicing
+    the BFS down to those arcs is therefore bit-identical to running
+    it on the full arc set while making the per-iteration gather /
+    reduceat cost proportional to the candidate subgraph, not the
+    graph.  Coins are still drawn for every arc (the draw shape is the
+    determinism contract, and shared coin blocks depend on it); only
+    the propagation reads a row subset.
+    """
+
+    __slots__ = (
+        "arc_rows", "predecessors", "targets", "segment_starts", "has_in"
+    )
+
+    def __init__(
+        self, csr: CSRGraph, allowed_mask: Optional["np.ndarray"]
+    ) -> None:
+        in_degrees = csr.rev_indptr[1:] - csr.rev_indptr[:-1]
+        targets = np.repeat(np.arange(csr.num_nodes), in_degrees)
+        if allowed_mask is None:
+            #: ``None`` means "use coin rows as-is" (no subset copy).
+            self.arc_rows: Optional["np.ndarray"] = None
+            has_in = in_degrees > 0
+            self.predecessors = csr.rev_indices
+            self.targets = targets
+            # reduceat segment starts for nodes with at least one
+            # in-arc; empty segments are excluded because reduceat
+            # would return the row *at* the boundary, not an empty OR.
+            self.segment_starts = np.asarray(csr.rev_indptr[:-1][has_in])
+            self.has_in = has_in
+            return
+        keep = allowed_mask[targets]
+        keep &= allowed_mask[csr.rev_indices]
+        arc_rows = np.nonzero(keep)[0]
+        self.arc_rows = arc_rows
+        self.predecessors = csr.rev_indices[arc_rows]
+        self.targets = targets[arc_rows]
+        # arc_rows is ascending, so the surviving arcs stay grouped by
+        # target in target order; rebuild the segment boundaries.
+        sub_in_degrees = np.bincount(
+            self.targets, minlength=csr.num_nodes
+        )
+        has_in = sub_in_degrees > 0
+        indptr = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(sub_in_degrees))
+        )
+        self.segment_starts = indptr[:-1][has_in]
+        self.has_in = has_in
+
+
 def _simulate_chunk(
     csr: CSRGraph,
     source_idx: "np.ndarray",
@@ -90,6 +146,9 @@ def _simulate_chunk(
     rng: "np.random.Generator",
     allowed_mask: Optional["np.ndarray"],
     max_hops: Optional[int],
+    plan: Optional[_ArcPlan] = None,
+    coin_source=None,
+    world_start: int = 0,
 ) -> "np.ndarray":
     """Advance *num_worlds* worlds to fixpoint; returns visited[W, n].
 
@@ -111,33 +170,56 @@ def _simulate_chunk(
         # order (grouped by target) so the reduceat below needs no
         # permutation.  float32 uniforms: ~2x cheaper than float64, and
         # the 2^-24 probability rounding is far below MC resolution.
-        coins = np.packbits(
-            rng.random(
-                (csr.num_arcs, num_worlds), dtype=np.float32
-            ) < csr.rev_probs_f32[:, None],
-            axis=1,
-        )
-        in_degrees = csr.rev_indptr[1:] - csr.rev_indptr[:-1]
-        has_in = in_degrees > 0
-        # reduceat segment starts for nodes with at least one in-arc;
-        # empty segments are excluded because reduceat would return the
-        # row *at* the boundary instead of an empty OR.
-        segment_starts = np.asarray(csr.rev_indptr[:-1][has_in])
-        predecessors = csr.rev_indices
+        # A coin_source (repro.accel.coins.CoinBlock) supplies the same
+        # packed bits from a shared, seed-identical stream instead.
+        if coin_source is not None:
+            coins = coin_source.coins(csr, world_start, num_worlds)
+        else:
+            coins = np.packbits(
+                rng.random(
+                    (csr.num_arcs, num_worlds), dtype=np.float32
+                ) < csr.rev_probs_f32[:, None],
+                axis=1,
+            )
+        if plan is None:
+            plan = _ArcPlan(csr, allowed_mask)
+        if plan.arc_rows is not None:
+            coins = coins[plan.arc_rows]
         frontier = visited.copy()
         new = np.empty_like(visited)
+        num_plan_arcs = plan.predecessors.size
         depth = 0
         while True:
             if max_hops is not None and depth >= max_hops:
                 break
-            candidate = frontier[predecessors]
-            candidate &= coins
-            new[:] = 0
-            new[has_in] = np.bitwise_or.reduceat(
-                candidate, segment_starts, axis=0
-            )
+            # Only arcs whose source node has a live frontier bit in
+            # *some* world can propagate; when few do (small reached
+            # sets — the subcritical / tight-candidate regime), scatter
+            # just those rows instead of gathering every arc.  OR
+            # accumulation is order-independent, so both paths produce
+            # identical bits.
+            live = frontier.any(axis=1)
+            active = np.nonzero(live[plan.predecessors])[0]
+            if active.size == 0:
+                break
+            # NOTE: ``frontier`` aliases ``new`` after the first
+            # iteration, so the candidate gather (a fancy-index copy)
+            # must happen before ``new`` is zeroed.
+            if active.size * 8 < num_plan_arcs:
+                candidate = frontier[plan.predecessors[active]]
+                candidate &= coins[active]
+                new[:] = 0
+                np.bitwise_or.at(new, plan.targets[active], candidate)
+            else:
+                candidate = frontier[plan.predecessors]
+                candidate &= coins
+                new[:] = 0
+                if plan.segment_starts.size:
+                    new[plan.has_in] = np.bitwise_or.reduceat(
+                        candidate, plan.segment_starts, axis=0
+                    )
             new &= ~visited
-            if allowed_mask is not None:
+            if plan.arc_rows is None and allowed_mask is not None:
                 new[~allowed_mask] = 0
             if not new.any():
                 break
@@ -157,6 +239,8 @@ def sample_reach_batch(
     rng: "np.random.Generator",
     allowed: Optional[Union[Set[int], Iterable[int]]] = None,
     max_hops: Optional[int] = None,
+    coin_source=None,
+    world_offset: int = 0,
 ) -> BatchReachResult:
     """Sample *num_worlds* possible worlds in vectorized batches.
 
@@ -174,6 +258,15 @@ def sample_reach_batch(
     rng:
         A ``numpy.random.Generator``; the caller owns the state, so
         successive calls continue one deterministic stream.
+    coin_source:
+        Optional :class:`repro.accel.coins.CoinBlock` supplying the
+        packed arc coins from a shared stream instead of drawing them
+        from *rng*.  The block's bits are identical to a private draw
+        from the same seed, so answers are byte-identical with and
+        without sharing; *rng* is left untouched when a source is used.
+    world_offset:
+        Index of this call's first world within the coin source's
+        stream (continuation calls pass their accumulated world count).
     """
     if np is None:
         raise RuntimeError("numpy is required for the batched MC kernel")
@@ -181,6 +274,12 @@ def sample_reach_batch(
         raise ValueError(f"num_worlds must be positive, got {num_worlds}")
     csr = graph if isinstance(graph, CSRGraph) else csr_snapshot(graph)
     n = csr.num_nodes
+
+    from ..service.metrics import get_registry
+
+    registry = get_registry()
+    registry.counter("accel.kernel_calls").inc()
+    registry.counter("accel.kernel_worlds").inc(num_worlds)
 
     allowed_mask: Optional[np.ndarray] = None
     if allowed is not None:
@@ -198,13 +297,17 @@ def sample_reach_batch(
 
     counts = np.zeros(n, dtype=np.int64)
     world_sizes = np.empty(num_worlds, dtype=np.int64)
+    plan = _ArcPlan(csr, allowed_mask)
     chunk = _chunk_size(csr, num_worlds)
     done = 0
     while done < num_worlds:
         fault_point("mc.kernel.chunk")
+        registry.counter("accel.kernel_chunks").inc()
         size = min(chunk, num_worlds - done)
         visited = _simulate_chunk(
-            csr, source_idx, size, rng, allowed_mask, max_hops
+            csr, source_idx, size, rng, allowed_mask, max_hops,
+            plan=plan, coin_source=coin_source,
+            world_start=world_offset + done,
         )
         counts += visited.sum(axis=0, dtype=np.int64)
         world_sizes[done:done + size] = visited.sum(axis=1, dtype=np.int64)

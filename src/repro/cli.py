@@ -10,7 +10,11 @@ The CLI covers the offline/online split of the paper's system:
 * ``detect``       — two-terminal reliability detection via binary
   search on the threshold (paper, Section 2 reduction);
 * ``transform``    — what-if graph transformations (scale / power /
-  backbone extraction).
+  backbone extraction);
+* ``serve``        — run the concurrent query-serving layer behind a
+  stdlib HTTP/JSON frontend (:mod:`repro.service`);
+* ``bench-serve``  — load-generate against a running server (or an
+  in-process service) and report throughput/latency.
 
 Everything round-trips through the text/JSON formats in
 :mod:`repro.graph.io` and :meth:`repro.core.rqtree.RQTree.save`, so an
@@ -90,10 +94,15 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--max-imbalance", type=float, default=0.1)
 
     stats = commands.add_parser(
-        "stats", help="print graph and/or index statistics"
+        "stats", help="print graph, index and/or service statistics"
     )
-    stats.add_argument("--graph", required=True)
+    stats.add_argument("--graph", default=None)
     stats.add_argument("--index", default=None)
+    stats.add_argument(
+        "--metrics", default=None,
+        help="service metrics snapshot JSON (from 'bench-serve "
+        "--metrics-out' or GET /metrics) to summarize",
+    )
 
     query = commands.add_parser(
         "query", help="answer a reliability-search query RS(S, eta)"
@@ -157,6 +166,59 @@ def build_parser() -> argparse.ArgumentParser:
                            help="raise every probability to this exponent")
     transform.add_argument("--backbone", type=float, default=None,
                            help="keep only arcs with p >= this threshold")
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve reliability queries over HTTP (see repro.service)",
+    )
+    serve.add_argument("--graph", required=True)
+    serve.add_argument("--index", default=None,
+                       help="prebuilt index JSON (otherwise built on the fly)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--max-in-flight", type=int, default=64,
+                       help="admission limit; excess queries are shed "
+                       "with a degraded answer")
+    serve.add_argument("--queue-deadline-ms", type=float, default=None,
+                       help="shed queries that waited longer than this "
+                       "in the queue")
+    serve.add_argument("--cache-ttl", type=float, default=30.0,
+                       help="result-cache TTL in seconds")
+    serve.add_argument("--cache-capacity", type=int, default=1024)
+    serve.add_argument("--no-batching", action="store_true",
+                       help="disable cross-query world batching (A/B)")
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="load-generate against a server (--url) or in-process "
+        "service (--graph)",
+    )
+    bench_serve.add_argument("--url", default=None,
+                             help="base URL of a running 'repro serve'")
+    bench_serve.add_argument("--graph", default=None,
+                             help="edge-list file for an in-process service")
+    bench_serve.add_argument("--index", default=None)
+    bench_serve.add_argument("--workers", type=int, default=4,
+                             help="in-process service workers "
+                             "(ignored with --url)")
+    bench_serve.add_argument("--queries", type=int, default=50)
+    bench_serve.add_argument("--concurrency", type=int, default=8,
+                             help="client threads issuing queries")
+    bench_serve.add_argument("--eta", type=float, default=0.5)
+    bench_serve.add_argument("--method", choices=("lb", "lb+", "mc"),
+                             default="mc")
+    bench_serve.add_argument("--samples", type=int, default=1000)
+    bench_serve.add_argument("--seed", type=int, default=0)
+    bench_serve.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if any query errored or degraded",
+    )
+    bench_serve.add_argument(
+        "--metrics-out", default=None,
+        help="write the service's metrics snapshot JSON here",
+    )
 
     detect = commands.add_parser(
         "detect",
@@ -227,25 +289,88 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from .eval.reporting import ascii_histogram
     from .graph.statistics import probability_histogram, summarize
 
-    graph = read_edge_list(args.graph)
-    rows = list(summarize(graph).as_rows())
-    if args.index:
-        tree = RQTree.load(args.index)
-        rows += [
-            ("index height", tree.height),
-            ("index clusters", tree.num_clusters),
-            ("index size (MB)", tree.storage_size_estimate() / 2**20),
-        ]
-    print(format_table(["metric", "value"], rows, title="statistics"))
-    if graph.num_arcs:
-        print()
+    if args.graph is None and args.metrics is None:
         print(
-            ascii_histogram(
-                probability_histogram(graph, num_bins=10),
-                title="arc-probability distribution",
+            "at least one of --graph / --metrics is required",
+            file=sys.stderr,
+        )
+        return 2
+    if args.graph is not None:
+        graph = read_edge_list(args.graph)
+        rows = list(summarize(graph).as_rows())
+        if args.index:
+            tree = RQTree.load(args.index)
+            rows += [
+                ("index height", tree.height),
+                ("index clusters", tree.num_clusters),
+                ("index size (MB)", tree.storage_size_estimate() / 2**20),
+            ]
+        print(format_table(["metric", "value"], rows, title="statistics"))
+        if graph.num_arcs:
+            print()
+            print(
+                ascii_histogram(
+                    probability_histogram(graph, num_bins=10),
+                    title="arc-probability distribution",
+                )
+            )
+    if args.metrics is not None:
+        import json
+
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        if args.graph is not None:
+            print()
+        _print_metrics_snapshot(snapshot)
+    return 0
+
+
+def _print_metrics_snapshot(snapshot: dict) -> None:
+    """Pretty-print a service metrics snapshot (``GET /metrics`` JSON)."""
+    counters = snapshot.get("counters", {})
+    if counters:
+        print(
+            format_table(
+                ["counter", "value"],
+                sorted(counters.items()),
+                title="service counters",
             )
         )
-    return 0
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = [
+            (
+                name,
+                summary.get("count", 0),
+                f"{summary.get('p50', 0.0):.6f}",
+                f"{summary.get('p90', 0.0):.6f}",
+                f"{summary.get('p99', 0.0):.6f}",
+            )
+            for name, summary in sorted(histograms.items())
+        ]
+        print()
+        print(
+            format_table(
+                ["histogram", "count", "p50 (s)", "p90 (s)", "p99 (s)"],
+                rows,
+                title="service latency histograms",
+            )
+        )
+    service = snapshot.get("service", {})
+    for label, key in (
+        ("result cache", "result_cache"),
+        ("engine cache", "engine_cache"),
+    ):
+        cache_stats = service.get(key)
+        if cache_stats:
+            print()
+            print(
+                format_table(
+                    ["metric", "value"],
+                    sorted(cache_stats.items()),
+                    title=f"{label} statistics",
+                )
+            )
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -383,6 +508,194 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service(args: argparse.Namespace):
+    from .service.cache import TTLResultCache
+    from .service.pool import AdmissionPolicy
+    from .service.server import ReliabilityService
+
+    engine = _load_engine(args.graph, args.index)
+    admission = AdmissionPolicy(
+        max_in_flight=getattr(args, "max_in_flight", 64),
+        queue_deadline_seconds=(
+            None
+            if getattr(args, "queue_deadline_ms", None) is None
+            else args.queue_deadline_ms / 1000.0
+        ),
+    )
+    cache = TTLResultCache(
+        capacity=getattr(args, "cache_capacity", 1024),
+        ttl_seconds=getattr(args, "cache_ttl", 30.0),
+    )
+    return ReliabilityService(
+        engine,
+        workers=args.workers,
+        admission=admission,
+        cache=cache,
+        enable_batching=not getattr(args, "no_batching", False),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.http_api import ServiceHTTPServer
+
+    service = _build_service(args)
+    server = ServiceHTTPServer(service, host=args.host, port=args.port)
+    host, port = server.address
+    engine = service.engine
+    print(
+        f"serving {engine.graph.num_nodes} nodes / "
+        f"{engine.graph.num_arcs} arcs on http://{host}:{port} "
+        f"({service.workers} workers)",
+        flush=True,
+    )
+    server.serve_forever()
+    return 0
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json
+    import threading
+
+    if (args.url is None) == (args.graph is None):
+        print(
+            "exactly one of --url / --graph is required", file=sys.stderr
+        )
+        return 2
+
+    if args.url is not None:
+        from urllib.request import Request, urlopen
+
+        base = args.url.rstrip("/")
+        with urlopen(f"{base}/healthz", timeout=30) as response:
+            num_nodes = json.load(response)["nodes"]
+
+        def run_query(body: dict) -> dict:
+            request = Request(
+                f"{base}/query",
+                data=json.dumps(body).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            with urlopen(request, timeout=120) as response:
+                return json.load(response)
+
+        def fetch_metrics() -> dict:
+            with urlopen(f"{base}/metrics", timeout=30) as response:
+                return json.load(response)
+
+        service = None
+    else:
+        service = _build_service(args).start()
+        num_nodes = service.engine.graph.num_nodes
+
+        def run_query(body: dict) -> dict:
+            from .service.http_api import result_to_json
+
+            result = service.query(
+                body["sources"], body["eta"],
+                method=body["method"], num_samples=body["num_samples"],
+                seed=body["seed"],
+            )
+            return result_to_json(result)
+
+        def fetch_metrics() -> dict:
+            return service.metrics_snapshot()
+
+    if num_nodes == 0:
+        print("graph has no nodes; nothing to query", file=sys.stderr)
+        return 2
+
+    bodies = [
+        {
+            "sources": [i % num_nodes],
+            "eta": args.eta,
+            "method": args.method,
+            "num_samples": args.samples,
+            "seed": args.seed,
+        }
+        for i in range(args.queries)
+    ]
+    latencies: List[float] = []
+    errors: List[str] = []
+    degraded = 0
+    lock = threading.Lock()
+    cursor = iter(range(args.queries))
+
+    def worker() -> None:
+        nonlocal degraded
+        while True:
+            with lock:
+                index = next(cursor, None)
+            if index is None:
+                return
+            begin = time.perf_counter()
+            try:
+                reply = run_query(bodies[index])
+            except Exception as error:  # noqa: BLE001 - reported below
+                with lock:
+                    errors.append(f"query {index}: {error}")
+                continue
+            elapsed = time.perf_counter() - begin
+            with lock:
+                latencies.append(elapsed)
+                if reply.get("degraded"):
+                    degraded += 1
+
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, daemon=True)
+        for _ in range(max(1, args.concurrency))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(fetch_metrics(), handle, indent=2, sort_keys=True)
+    if service is not None:
+        service.stop()
+
+    latencies.sort()
+    completed = len(latencies)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("queries", args.queries),
+                ("completed", completed),
+                ("errors", len(errors)),
+                ("degraded", degraded),
+                ("concurrency", args.concurrency),
+                ("wall time (s)", wall),
+                ("throughput (q/s)", completed / wall if wall > 0 else 0.0),
+                ("p50 latency (s)", _percentile(latencies, 0.50)),
+                ("p95 latency (s)", _percentile(latencies, 0.95)),
+            ],
+            title="bench-serve",
+        )
+    )
+    for message in errors[:5]:
+        print(f"error: {message}", file=sys.stderr)
+    if args.check and (errors or degraded):
+        print(
+            f"check failed: {len(errors)} error(s), {degraded} degraded",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "build-index": _cmd_build_index,
@@ -391,6 +704,8 @@ _HANDLERS = {
     "top-k": _cmd_top_k,
     "detect": _cmd_detect,
     "transform": _cmd_transform,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
 }
 
 

@@ -28,18 +28,41 @@ __all__ = ["CacheStats", "CachingRQTreeEngine"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for a :class:`CachingRQTreeEngine`."""
+    """Hit/miss counters for a query-result cache.
+
+    Shared by :class:`CachingRQTreeEngine` and the serving layer's
+    :class:`repro.service.cache.TTLResultCache`, so ``repro stats`` and
+    the service metrics snapshot report both through one schema.
+    """
 
     hits: int = 0
     misses: int = 0
     bypasses: int = 0
     evictions: int = 0
+    #: Entries dropped because their TTL lapsed (always 0 for the
+    #: un-TTL'd LRU cache).
+    expirations: int = 0
 
     @property
     def hit_rate(self) -> float:
         """Fraction of cacheable queries answered from the cache."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-able snapshot (used by the service metrics endpoint)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "hit_rate": self.hit_rate,
+        }
+
+    def as_rows(self):
+        """``(metric, value)`` rows for the CLI's table renderer."""
+        return list(self.as_dict().items())
 
 
 class CachingRQTreeEngine:

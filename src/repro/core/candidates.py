@@ -551,20 +551,35 @@ def generate_candidates(
     if not source_list:
         raise EmptySourceSetError()
     if len(source_list) == 1:
-        return single_source_candidates(
+        result = single_source_candidates(
             graph, tree, source_list[0], eta,
             engine=engine, bounds_cache=bounds_cache, budget=budget,
         )
-    if multi_source_mode == "greedy":
-        return multi_source_candidates_greedy(
+    elif multi_source_mode == "greedy":
+        result = multi_source_candidates_greedy(
             graph, tree, source_list, eta,
             engine=engine, bounds_cache=bounds_cache, budget=budget,
         )
-    if multi_source_mode == "exact":
-        return multi_source_candidates_exact(
+    elif multi_source_mode == "exact":
+        result = multi_source_candidates_exact(
             graph, tree, source_list, eta, engine=engine, budget=budget
         )
-    raise ValueError(
-        f"unknown multi_source_mode {multi_source_mode!r}; "
-        "expected 'greedy' or 'exact'"
+    else:
+        raise ValueError(
+            f"unknown multi_source_mode {multi_source_mode!r}; "
+            "expected 'greedy' or 'exact'"
+        )
+    _record_candidate_metrics(result)
+    return result
+
+
+def _record_candidate_metrics(result: CandidateResult) -> None:
+    """Count one filtering pass in the service metrics registry."""
+    from ..service.metrics import get_registry
+
+    registry = get_registry()
+    registry.counter("candidates.passes").inc()
+    registry.counter("candidates.flow_calls").inc(result.flow_calls)
+    registry.counter("candidates.clusters_visited").inc(
+        result.clusters_visited
     )

@@ -227,6 +227,7 @@ class RQTreeEngine:
         max_hops: Optional[int] = None,
         backend: str = "auto",
         budget: Optional[QueryBudget] = None,
+        coin_source=None,
     ) -> QueryResult:
         """Answer the reliability-search query ``RS(S, eta)``.
 
@@ -268,6 +269,13 @@ class RQTreeEngine:
             :class:`QueryResult` with ``degraded=True`` and a per-node
             status for every candidate.  ``budget=None`` reproduces the
             unbudgeted (seed) behaviour exactly.
+        coin_source:
+            Optional :class:`repro.accel.coins.CoinBlock` supplying the
+            MC verifier's packed arc coins from a shared, replayable
+            stream (the serving layer's cross-query world batching).
+            Never changes the answer: the block's bits are exactly what
+            a private draw at *seed* would produce.  Ignored for
+            non-sampling methods and on the pure-python path.
         """
         source_list = self._normalize_sources(sources)
         clock = budget.start() if budget is not None else None
@@ -314,6 +322,7 @@ class RQTreeEngine:
                 max_hops=max_hops,
                 backend=backend,
                 budget=clock,
+                coin_source=coin_source,
             )
         else:
             raise ValueError(
@@ -330,6 +339,9 @@ class RQTreeEngine:
         )
         degraded = candidate_result.degraded or report.degraded
         degraded_reason = candidate_result.degraded_reason or report.degraded_reason
+        self._record_query_metrics(
+            method, candidate_seconds, verification_seconds, degraded
+        )
         return QueryResult(
             nodes=report.kept,
             eta=eta,
@@ -384,6 +396,26 @@ class RQTreeEngine:
                 node: (CONFIRMED if node in answer else REJECTED)
                 for node in candidates
             },
+        )
+
+    @staticmethod
+    def _record_query_metrics(
+        method: str,
+        candidate_seconds: float,
+        verification_seconds: float,
+        degraded: bool,
+    ) -> None:
+        """Per-stage timers and query counters for the serving layer."""
+        from ..service.metrics import get_registry
+
+        registry = get_registry()
+        registry.counter("engine.queries").inc()
+        registry.counter(f"engine.queries.{method}").inc()
+        if degraded:
+            registry.counter("engine.degraded").inc()
+        registry.histogram("engine.filter_seconds").observe(candidate_seconds)
+        registry.histogram("engine.verify_seconds").observe(
+            verification_seconds
         )
 
     @staticmethod

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..graph.uncertain import UncertainGraph
+from ..seeding import derive_seed
 from .builder import rebuild_subtree
 from .engine import QueryResult, RQTreeEngine
 from .rqtree import RQTree
@@ -206,7 +207,9 @@ class DynamicRQTreeEngine:
             tree,
             target.index,
             max_imbalance=self._max_imbalance,
-            seed=self._seed + self.stats.subtree_rebuilds + 1,
+            seed=derive_seed(
+                self._seed, "maintenance.rebuild", self.stats.subtree_rebuilds
+            ),
             strategy=self._strategy,
             branching=self._branching,
         )

@@ -63,6 +63,17 @@ _BUDGET_CHUNK_WORLDS = 256
 _ETA_SLACK = 1e-9
 
 
+def _record_verify_metrics(worlds: int, fallbacks: int) -> None:
+    """Count one MC verification pass in the service metrics registry."""
+    from ..service.metrics import get_registry
+
+    registry = get_registry()
+    registry.counter("verify.mc_passes").inc()
+    registry.counter("verify.worlds").inc(worlds)
+    if fallbacks:
+        registry.counter("verify.backend_fallbacks").inc(fallbacks)
+
+
 def _check(eta: float, sources: Sequence[int]) -> Set[int]:
     if math.isnan(eta) or not 0.0 < eta < 1.0:
         raise InvalidThresholdError(eta, context="verification")
@@ -353,6 +364,7 @@ def verify_sampling(
     max_hops: Optional[int] = None,
     backend: str = "auto",
     budget: Optional[Union[QueryBudget, BudgetClock]] = None,
+    coin_source=None,
 ) -> Set[int]:
     """Monte-Carlo verification on the candidate-induced subgraph.
 
@@ -372,7 +384,7 @@ def verify_sampling(
     report = verify_sampling_report(
         graph, sources, eta, candidates,
         num_samples=num_samples, seed=seed, max_hops=max_hops,
-        backend=backend, budget=clock,
+        backend=backend, budget=clock, coin_source=coin_source,
     )
     return _raise_if_partial(report, clock)
 
@@ -387,6 +399,7 @@ def verify_sampling_report(
     max_hops: Optional[int] = None,
     backend: str = "auto",
     budget: Optional[Union[QueryBudget, BudgetClock]] = None,
+    coin_source=None,
 ) -> VerificationReport:
     """:func:`verify_sampling` with per-node statuses, chunked sampling,
     early stopping, and graceful budget handling.
@@ -410,6 +423,12 @@ def verify_sampling_report(
     world cap is exhausted *without* the deadline expiring settles the
     remaining undecided nodes by the seed's count-threshold rule — that
     is a completed (coarser) estimate, not a partial one.
+
+    *coin_source* forwards to the estimator (cross-query world sharing;
+    see :class:`repro.graph.sampling.ReachabilityFrequencyEstimator`).
+    The serving layer only supplies it for unbudgeted queries — a
+    budgeted run's chunk partition depends on wall-clock load, so its
+    coins would not line up across queries.
     """
     source_set = _check(eta, sources)
     if num_samples <= 0:
@@ -425,6 +444,7 @@ def verify_sampling_report(
         allowed=subset,
         max_hops=max_hops,
         backend=backend,
+        coin_source=coin_source,
     )
 
     if clock is None:
@@ -432,6 +452,7 @@ def verify_sampling_report(
         kept = estimator.nodes_above(eta)
         for node in subset:
             statuses[node] = CONFIRMED if node in kept else REJECTED
+        _record_verify_metrics(num_samples, estimator.fallbacks)
         return VerificationReport(
             kept=kept,
             statuses=statuses,
@@ -490,6 +511,7 @@ def verify_sampling_report(
     if dropped and degraded_reason is None:
         degraded_reason = "candidate-subgraph cap left candidates unverified"
     kept = {n for n, s in statuses.items() if s == CONFIRMED}
+    _record_verify_metrics(done, estimator.fallbacks)
     return VerificationReport(
         kept=kept,
         statuses=statuses,

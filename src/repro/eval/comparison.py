@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..graph.uncertain import UncertainGraph
 from ..reliability.estimators import SearchMethod
+from ..seeding import derive_seed
 from .bootstrap import ConfidenceInterval, bootstrap_mean
 from .metrics import precision, recall
 from .reporting import format_table
@@ -111,13 +112,16 @@ def compare_methods(
         results[name] = MethodComparison(
             method=name,
             precision_ci=bootstrap_mean(
-                precisions, confidence=confidence, seed=seed
+                precisions, confidence=confidence,
+                seed=derive_seed(seed, "comparison.bootstrap", 0),
             ),
             recall_ci=bootstrap_mean(
-                recalls, confidence=confidence, seed=seed + 1
+                recalls, confidence=confidence,
+                seed=derive_seed(seed, "comparison.bootstrap", 1),
             ),
             seconds_ci=bootstrap_mean(
-                times, confidence=confidence, seed=seed + 2
+                times, confidence=confidence,
+                seed=derive_seed(seed, "comparison.bootstrap", 2),
             ),
             per_query_precision=precisions,
             per_query_recall=recalls,

@@ -19,6 +19,7 @@ from ..core.engine import QueryResult, RQTreeEngine
 from ..eval.metrics import precision, recall
 from ..graph.uncertain import UncertainGraph
 from ..reliability.montecarlo import mc_sampling_search
+from ..seeding import derive_seed
 
 __all__ = ["QueryRecord", "AggregateRow", "run_quality_experiment", "mean_or_zero"]
 
@@ -84,12 +85,16 @@ def run_quality_experiment(
     mc_times: List[float] = []
     for query_index, sources in enumerate(workload):
         source_list = list(sources)
+        # Per-query seeds come from the documented SeedSequence scheme
+        # (repro.seeding) — ad-hoc seed+i offsets would overlap between
+        # nearby root seeds.
+        query_seed = derive_seed(seed, "harness.query", query_index)
         proxy = mc_sampling_search(
             graph,
             source_list,
             eta,
             num_samples=num_samples,
-            seed=seed + query_index,
+            seed=query_seed,
         )
         mc_times.append(proxy.seconds)
         truth = proxy.nodes
@@ -99,7 +104,7 @@ def run_quality_experiment(
                 eta,
                 method=method,
                 num_samples=num_samples,
-                seed=seed + query_index,
+                seed=query_seed,
                 multi_source_mode=multi_source_mode,
             )
             candidates = result.candidate_result.candidates

@@ -177,6 +177,14 @@ class ReachabilityFrequencyEstimator:
     attempts, so a fallback run is byte-identical to one that requested
     ``backend="python"`` up front.  An explicit ``backend="numpy"``
     request propagates the failure instead.
+
+    *coin_source* (a :class:`repro.accel.coins.CoinBlock`) makes the
+    numpy path read its packed arc coins from a shared block instead of
+    drawing privately — the serving layer's cross-query world batching.
+    The block replays the exact bits a private ``default_rng(seed)``
+    draw would produce, so results are unchanged; on the python path
+    (including fallback after a kernel failure) it is ignored, which is
+    safe because the python RNG never shared anything to begin with.
     """
 
     def __init__(
@@ -187,6 +195,7 @@ class ReachabilityFrequencyEstimator:
         allowed: Optional[Set[int]] = None,
         max_hops: Optional[int] = None,
         backend: str = "auto",
+        coin_source=None,
     ) -> None:
         self._graph = graph
         self._sources = list(sources)
@@ -199,6 +208,7 @@ class ReachabilityFrequencyEstimator:
         )
         self._requested_backend = backend
         self._backend = resolve_backend(backend, effective_nodes)
+        self._coin_source = coin_source
         self._rng = random.Random(seed)
         if self._backend == "numpy":
             import numpy
@@ -239,6 +249,8 @@ class ReachabilityFrequencyEstimator:
                     self._np_rng,
                     allowed=self._allowed,
                     max_hops=self._max_hops,
+                    coin_source=self._coin_source,
+                    world_offset=self._num_worlds,
                 )
             except Exception as exc:
                 if self._requested_backend != "auto":

@@ -28,6 +28,7 @@ Design notes
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..errors import (
@@ -73,7 +74,9 @@ class UncertainGraph:
         3
     """
 
-    __slots__ = ("_succ", "_pred", "_num_arcs", "_version", "_csr_cache")
+    __slots__ = (
+        "_succ", "_pred", "_num_arcs", "_version", "_csr_cache", "_csr_lock",
+    )
 
     def __init__(self, n: int = 0) -> None:
         if n < 0:
@@ -89,7 +92,10 @@ class UncertainGraph:
         # longer matches.
         self._version = 0
         # Slot for the cached CSR snapshot (owned by repro.accel.csr).
+        # The lock serializes snapshot build/evict across threads — the
+        # serving layer snapshots one shared graph from many workers.
         self._csr_cache = None
+        self._csr_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction

@@ -1,0 +1,213 @@
+"""Stdlib-only JSON/HTTP frontend for the serving layer.
+
+``repro serve`` exposes a :class:`ReliabilityService` over plain
+``http.server`` — no web framework, in keeping with the repo's
+no-new-dependencies rule.  Three endpoints:
+
+* ``POST /query`` — body is a JSON object with the same fields as
+  :meth:`ReliabilityService.submit` (``sources``, ``eta``, optional
+  ``method`` / ``num_samples`` / ``seed`` / ``multi_source_mode`` /
+  ``max_hops`` / ``backend``) plus optional budget fields
+  (``deadline_ms`` / ``max_worlds`` / ``max_candidate_nodes``).
+  Replies 200 with the serialized :class:`QueryResult` (degraded
+  answers included — shedding is not an HTTP error), or 400 with
+  ``{"error": ...}`` for malformed requests.
+* ``GET /metrics`` — the service's merged metrics snapshot as JSON.
+* ``GET /healthz`` — liveness plus graph shape.
+
+The HTTP layer adds no queueing of its own: every request thread
+blocks on the service's future, so admission control and load
+shedding live in exactly one place (:class:`AdmissionPolicy`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from ..core.engine import QueryResult
+from ..errors import ReproError
+from ..resilience.budget import QueryBudget
+from .server import ReliabilityService
+
+__all__ = ["ServiceHTTPServer", "result_to_json"]
+
+#: Request fields forwarded verbatim to :meth:`ReliabilityService.submit`.
+_QUERY_FIELDS = (
+    "method", "num_samples", "seed", "multi_source_mode", "max_hops",
+    "backend",
+)
+
+
+def result_to_json(result: QueryResult) -> Dict[str, object]:
+    """The wire form of a :class:`QueryResult` (JSON-able dict)."""
+    return {
+        "nodes": sorted(result.nodes),
+        "eta": result.eta,
+        "sources": list(result.sources),
+        "method": result.method,
+        "num_candidates": len(result.candidate_result.candidates),
+        "candidate_seconds": result.candidate_seconds,
+        "verification_seconds": result.verification_seconds,
+        "height_ratio": result.height_ratio,
+        "candidate_ratio": result.candidate_ratio,
+        "statuses": {str(n): s for n, s in sorted(result.statuses.items())},
+        "degraded": result.degraded,
+        "degraded_reason": result.degraded_reason,
+        "worlds_used": result.worlds_used,
+        "achieved_confidence": result.achieved_confidence,
+        "backend_fallbacks": result.backend_fallbacks,
+    }
+
+
+def _parse_budget(body: Dict[str, object]) -> Optional[QueryBudget]:
+    deadline_ms = body.get("deadline_ms")
+    max_worlds = body.get("max_worlds")
+    max_candidate_nodes = body.get("max_candidate_nodes")
+    if deadline_ms is None and max_worlds is None and max_candidate_nodes is None:
+        return None
+    return QueryBudget(
+        deadline_seconds=(
+            None if deadline_ms is None else float(deadline_ms) / 1000.0
+        ),
+        max_worlds=max_worlds,
+        max_candidate_nodes=max_candidate_nodes,
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the service instance rides on the server object."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def _service(self) -> ReliabilityService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Request logging is the metrics registry's job; stderr chatter
+        # would swamp the CLI's own output.
+        pass
+
+    def _reply(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- endpoints -----------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        if self.path == "/healthz":
+            engine = self._service.engine
+            self._reply(200, {
+                "status": "ok",
+                "nodes": engine.graph.num_nodes,
+                "arcs": engine.graph.num_arcs,
+                "workers": self._service.workers,
+            })
+        elif self.path == "/metrics":
+            self._reply(200, self._service.metrics_snapshot())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        if self.path != "/query":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(body, dict):
+                raise ValueError("request body must be a JSON object")
+            sources = body["sources"]
+            eta = float(body["eta"])
+            kwargs = {
+                field: body[field] for field in _QUERY_FIELDS if field in body
+            }
+            budget = _parse_budget(body)
+        except (KeyError, TypeError, ValueError) as error:
+            self._reply(400, {"error": f"bad request: {error}"})
+            return
+        try:
+            result = self._service.query(sources, eta, budget=budget, **kwargs)
+        except (ReproError, TypeError, ValueError) as error:
+            self._reply(400, {"error": f"{type(error).__name__}: {error}"})
+            return
+        self._reply(200, result_to_json(result))
+
+
+class ServiceHTTPServer:
+    """A :class:`ReliabilityService` behind ``http.server``.
+
+    Owns both the service lifecycle and the listener: :meth:`start`
+    starts the worker pool and the accept loop (in a daemon thread),
+    :meth:`stop` shuts down both.  ``port=0`` binds an ephemeral port;
+    read the bound one from :attr:`address`.
+    """
+
+    def __init__(
+        self,
+        service: ReliabilityService,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+    ) -> None:
+        self._service = service
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def service(self) -> ReliabilityService:
+        return self._service
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (resolved even for ``port=0``)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceHTTPServer":
+        self._service.start()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-serve-accept",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Run the accept loop on the calling thread (the CLI path)."""
+        self._service.start()
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._service.stop()
+
+    def __enter__(self) -> "ServiceHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,401 @@
+"""ReliabilityService: one shared engine serving concurrent queries.
+
+This is the facade the CLI's ``repro serve`` and the tests drive.  It
+ties the serving-layer pieces together around a single
+:class:`~repro.core.engine.RQTreeEngine`:
+
+* requests enter through :meth:`submit` (non-blocking, returns a
+  :class:`concurrent.futures.Future`) or :meth:`query` (blocking);
+* :class:`~repro.service.pool.AdmissionPolicy` sheds requests beyond
+  ``max_in_flight`` at the door, and stale requests at dequeue time —
+  a shed request resolves to a *degraded* :class:`QueryResult` (empty,
+  ``degraded=True``), never an exception;
+* a :class:`~repro.service.cache.TTLResultCache` answers repeats of
+  deterministic queries without touching the engine, and identical
+  in-flight requests are *single-flighted* (followers piggyback on the
+  leader's future instead of re-running the query);
+* eligible queries lease shared worlds from a
+  :class:`~repro.service.batcher.WorldBatcher`, so concurrent queries
+  with the same sampling signature draw their Monte-Carlo coins once;
+* everything records into a :class:`MetricsRegistry`
+  (:meth:`metrics_snapshot` merges it with both caches' statistics).
+
+Determinism contract: for any fixed request, the answer produced
+through the service — whatever the worker count, cache state, or
+co-resident load — is byte-identical to calling
+``engine.query(...)`` serially, except for *shed* requests, which are
+explicitly degraded.  The parity tests in ``tests/test_service.py``
+enforce this.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.caching import CachingRQTreeEngine
+from ..core.candidates import CandidateResult
+from ..core.engine import QueryResult, RQTreeEngine
+from ..resilience.budget import QueryBudget
+from .batcher import BatchKey, WorldBatcher
+from .cache import TTLResultCache
+from .metrics import MetricsRegistry, get_registry
+from .pool import AdmissionPolicy, WorkerPool
+
+__all__ = ["QueryRequest", "ReliabilityService"]
+
+
+class QueryRequest:
+    """One admitted query: parameters plus resolution state."""
+
+    __slots__ = (
+        "sources", "eta", "method", "num_samples", "seed",
+        "multi_source_mode", "max_hops", "backend", "budget",
+        "future", "followers", "cache_key", "submitted_at",
+    )
+
+    def __init__(
+        self,
+        sources: List[int],
+        eta: float,
+        method: str,
+        num_samples: int,
+        seed: Optional[int],
+        multi_source_mode: str,
+        max_hops: Optional[int],
+        backend: str,
+        budget: Optional[QueryBudget],
+        cache_key: Optional[object],
+        submitted_at: float,
+    ) -> None:
+        self.sources = sources
+        self.eta = eta
+        self.method = method
+        self.num_samples = num_samples
+        self.seed = seed
+        self.multi_source_mode = multi_source_mode
+        self.max_hops = max_hops
+        self.backend = backend
+        self.budget = budget
+        self.cache_key = cache_key
+        self.submitted_at = submitted_at
+        self.future: "Future[QueryResult]" = Future()
+        #: Futures of deduplicated identical in-flight requests.
+        self.followers: "List[Future[QueryResult]]" = []
+
+
+class ReliabilityService:
+    """Concurrent query-serving facade over one shared engine.
+
+    Parameters
+    ----------
+    engine:
+        The engine every worker queries.  A
+        :class:`~repro.core.caching.CachingRQTreeEngine` is unwrapped
+        (its LRU is not thread-safe; the service's own
+        :class:`TTLResultCache` takes over, and the wrapper's
+        statistics still appear in :meth:`metrics_snapshot`).
+    workers:
+        Worker-thread count.
+    admission:
+        Load-shedding limits (see :class:`AdmissionPolicy`).
+    cache:
+        Result cache; ``None`` builds a default
+        :class:`TTLResultCache`.  Pass ``cache=False``-like behaviour
+        by using ``TTLResultCache(capacity=1, ttl_seconds=1e-9)`` if a
+        test needs an effectively disabled cache.
+    registry:
+        Metrics registry; defaults to the process-global one, which is
+        also where the engine's built-in instrumentation records — so
+        one snapshot covers the whole pipeline.
+    enable_batching:
+        Whether eligible concurrent queries share sampled worlds.
+        Sharing never changes answers; disabling it exists for A/B
+        benchmarking.
+    """
+
+    def __init__(
+        self,
+        engine: Union[RQTreeEngine, CachingRQTreeEngine],
+        workers: int = 4,
+        admission: Optional[AdmissionPolicy] = None,
+        cache: Optional[TTLResultCache] = None,
+        registry: Optional[MetricsRegistry] = None,
+        enable_batching: bool = True,
+    ) -> None:
+        if isinstance(engine, CachingRQTreeEngine):
+            self._engine_cache_stats = engine.stats
+            engine = engine.engine
+        else:
+            self._engine_cache_stats = None
+        self._engine = engine
+        self._registry = registry
+        self._cache = cache if cache is not None else TTLResultCache()
+        self._admission = admission if admission is not None else AdmissionPolicy()
+        self._batcher = WorldBatcher(registry=registry)
+        self._enable_batching = enable_batching
+        self._pool = WorkerPool(self._handle, workers=workers)
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._inflight_keys: Dict[object, QueryRequest] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> RQTreeEngine:
+        return self._engine
+
+    @property
+    def cache(self) -> TTLResultCache:
+        return self._cache
+
+    @property
+    def workers(self) -> int:
+        return self._pool.workers
+
+    @property
+    def running(self) -> bool:
+        return self._pool.running
+
+    def start(self) -> "ReliabilityService":
+        self._pool.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        self._pool.stop(drain=drain)
+
+    def __enter__(self) -> "ReliabilityService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _metrics(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        sources: Union[int, Sequence[int]],
+        eta: float,
+        method: str = "lb",
+        num_samples: int = 1000,
+        seed: Optional[int] = None,
+        multi_source_mode: str = "greedy",
+        max_hops: Optional[int] = None,
+        backend: str = "auto",
+        budget: Optional[QueryBudget] = None,
+    ) -> "Future[QueryResult]":
+        """Enqueue a query; the returned future resolves to its result.
+
+        Invalid *parameters* raise here, synchronously (a caller bug is
+        not an overload condition).  Overload — too many requests in
+        flight — resolves the future immediately with a degraded shed
+        result instead.
+        """
+        source_list = RQTreeEngine._normalize_sources(sources)
+        metrics = self._metrics()
+        metrics.counter("service.submitted").inc()
+
+        cacheable = budget is None and (
+            method in ("lb", "lb+") or seed is not None
+        )
+        cache_key = (
+            TTLResultCache.make_key(
+                self._engine.graph.version, source_list, eta, method,
+                num_samples, seed, multi_source_mode, max_hops, backend,
+            )
+            if cacheable
+            else None
+        )
+        request = QueryRequest(
+            source_list, eta, method, num_samples, seed, multi_source_mode,
+            max_hops, backend, budget, cache_key, time.perf_counter(),
+        )
+
+        if cache_key is not None:
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                request.future.set_result(cached)
+                metrics.counter("service.completed").inc()
+                return request.future
+        else:
+            self._cache.record_bypass()
+
+        with self._lock:
+            if cache_key is not None:
+                leader = self._inflight_keys.get(cache_key)
+                if leader is not None:
+                    leader.followers.append(request.future)
+                    metrics.counter("service.deduped").inc()
+                    return request.future
+            if self._in_flight >= self._admission.max_in_flight:
+                metrics.counter("service.shed").inc()
+                request.future.set_result(
+                    self._shed_result(request, "shed: max in-flight exceeded")
+                )
+                return request.future
+            self._in_flight += 1
+            if cache_key is not None:
+                self._inflight_keys[cache_key] = request
+            metrics.gauge("service.in_flight").set(self._in_flight)
+
+        self._pool.submit(request)
+        return request.future
+
+    def query(
+        self,
+        sources: Union[int, Sequence[int]],
+        eta: float,
+        timeout: Optional[float] = None,
+        **kwargs: object,
+    ) -> QueryResult:
+        """Blocking convenience wrapper over :meth:`submit`."""
+        return self.submit(sources, eta, **kwargs).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Worker path
+    # ------------------------------------------------------------------
+    def _handle(self, request: QueryRequest) -> None:
+        metrics = self._metrics()
+        queue_wait = time.perf_counter() - request.submitted_at
+        metrics.histogram("service.queue_wait_seconds").observe(queue_wait)
+        try:
+            deadline = self._admission.queue_deadline_seconds
+            if deadline is not None and queue_wait >= deadline:
+                metrics.counter("service.shed").inc()
+                self._resolve(
+                    request,
+                    result=self._shed_result(
+                        request, "shed: queue deadline exceeded"
+                    ),
+                )
+                return
+            try:
+                result = self._execute(request)
+            except Exception as error:
+                metrics.counter("service.errors").inc()
+                self._resolve(request, error=error)
+                return
+            if request.cache_key is not None and not result.degraded:
+                self._cache.put(request.cache_key, result)
+            self._resolve(request, result=result)
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+                metrics.gauge("service.in_flight").set(self._in_flight)
+
+    def _execute(self, request: QueryRequest) -> QueryResult:
+        batch_key = None
+        coin_source = None
+        if self._enable_batching and WorldBatcher.eligible(
+            request.method, request.seed, request.budget, request.backend
+        ):
+            batch_key = BatchKey(
+                graph_version=self._engine.graph.version,
+                seed=request.seed,
+                num_worlds=request.num_samples,
+            )
+            coin_source = self._batcher.lease(batch_key)
+        try:
+            return self._engine.query(
+                request.sources,
+                request.eta,
+                method=request.method,
+                num_samples=request.num_samples,
+                seed=request.seed,
+                multi_source_mode=request.multi_source_mode,
+                max_hops=request.max_hops,
+                backend=request.backend,
+                budget=request.budget,
+                coin_source=coin_source,
+            )
+        finally:
+            if batch_key is not None:
+                self._batcher.release(batch_key)
+
+    def _resolve(
+        self,
+        request: QueryRequest,
+        result: Optional[QueryResult] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Settle the request's future and every deduplicated follower."""
+        metrics = self._metrics()
+        with self._lock:
+            if (
+                request.cache_key is not None
+                and self._inflight_keys.get(request.cache_key) is request
+            ):
+                del self._inflight_keys[request.cache_key]
+            followers = request.followers
+        latency = time.perf_counter() - request.submitted_at
+        metrics.histogram("service.latency_seconds").observe(latency)
+        for future in [request.future, *followers]:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+                metrics.counter("service.completed").inc()
+
+    def _shed_result(self, request: QueryRequest, reason: str) -> QueryResult:
+        """A degraded empty answer for a request the service refused.
+
+        Shedding mirrors the budget contract: the caller gets a
+        well-formed :class:`QueryResult` with ``degraded=True`` and
+        zero achieved confidence, never an exception.
+        """
+        return QueryResult(
+            nodes=set(),
+            eta=request.eta,
+            sources=list(request.sources),
+            method=request.method,
+            candidate_result=CandidateResult(
+                candidates=set(),
+                clusters_visited=0,
+                flow_calls=0,
+                final_upper_bound=0.0,
+            ),
+            candidate_seconds=0.0,
+            verification_seconds=0.0,
+            tree_height=self._engine.tree.height,
+            num_graph_nodes=self._engine.graph.num_nodes,
+            statuses={},
+            degraded=True,
+            degraded_reason=reason,
+            worlds_used=0,
+            achieved_confidence=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Registry snapshot merged with the serving-layer state.
+
+        The ``service`` section carries what plain instruments can't:
+        the result cache's :class:`CacheStats` (and, when the service
+        wraps a :class:`CachingRQTreeEngine`, the engine cache's too),
+        pool shape, and live queue/in-flight depths.
+        """
+        snapshot = self._metrics().snapshot()
+        with self._lock:
+            in_flight = self._in_flight
+        service: Dict[str, object] = {
+            "workers": self._pool.workers,
+            "in_flight": in_flight,
+            "queue_depth": self._pool.queue_depth,
+            "batching_enabled": self._enable_batching,
+            "active_coin_blocks": self._batcher.active_blocks,
+            "result_cache": self._cache.stats.as_dict(),
+            "result_cache_entries": len(self._cache),
+        }
+        if self._engine_cache_stats is not None:
+            service["engine_cache"] = self._engine_cache_stats.as_dict()
+        snapshot["service"] = service
+        return snapshot

@@ -208,3 +208,135 @@ def test_world_sampler_seeded_sequences_unchanged():
     b = WorldSampler(g, seed=9)
     for _ in range(5):
         assert a.sample_world() == b.sample_world()
+
+
+# ----------------------------------------------------------------------
+# Shared coin blocks (cross-query world batching)
+# ----------------------------------------------------------------------
+def test_coin_block_bits_match_private_draw():
+    g = uncertain_gnp(30, 0.2, seed=5)
+    csr = csr_snapshot(g)
+    from repro.accel.coins import CoinBlock
+
+    block = CoinBlock(seed=11, num_worlds=24)
+    shared = block.coins(csr, 0, 24)
+    rng = np.random.default_rng(11)
+    private = np.packbits(
+        rng.random((csr.num_arcs, 24), dtype=np.float32)
+        < csr.rev_probs_f32[:, None],
+        axis=1,
+    )
+    assert np.array_equal(shared, private)
+    assert block.draws == 1
+    # Second consumer reuses the cached chunk verbatim.
+    assert block.coins(csr, 0, 24) is shared
+    assert block.hits == 1
+
+
+def test_coin_block_sharing_preserves_batch_results():
+    g = uncertain_gnp(40, 0.25, seed=6)
+    from repro.accel.coins import CoinBlock
+
+    private = sample_reach_batch(g, [0, 3], 200, np.random.default_rng(21))
+    block = CoinBlock(seed=21, num_worlds=200)
+    shared_a = sample_reach_batch(
+        g, [0, 3], 200, np.random.default_rng(21), coin_source=block
+    )
+    # A different query sharing the same block: different sources and a
+    # hop budget, still byte-identical to its own private run.
+    shared_b = sample_reach_batch(
+        g, [5], 200, np.random.default_rng(21), coin_source=block, max_hops=2
+    )
+    private_b = sample_reach_batch(
+        g, [5], 200, np.random.default_rng(21), max_hops=2
+    )
+    assert np.array_equal(private.counts, shared_a.counts)
+    assert np.array_equal(private.world_sizes, shared_a.world_sizes)
+    assert np.array_equal(private_b.counts, shared_b.counts)
+
+
+def test_coin_block_rejects_mutated_graph():
+    g = uncertain_gnp(20, 0.3, seed=7)
+    from repro.accel.coins import CoinBlock
+
+    block = CoinBlock(seed=1, num_worlds=16)
+    block.coins(csr_snapshot(g), 0, 16)
+    g.add_arc(0, 19, 0.5)
+    with pytest.raises(RuntimeError, match="mutated"):
+        block.coins(csr_snapshot(g), 0, 16)
+
+
+def test_coin_block_rejects_misaligned_partition():
+    g = uncertain_gnp(20, 0.3, seed=8)
+    csr = csr_snapshot(g)
+    from repro.accel.coins import CoinBlock
+
+    block = CoinBlock(seed=1, num_worlds=64)
+    block.coins(csr, 0, 32)
+    with pytest.raises(RuntimeError, match="misaligned"):
+        block.coins(csr, 0, 16)
+    with pytest.raises(RuntimeError, match="non-sequential"):
+        block.coins(csr, 48, 16)
+    with pytest.raises(ValueError, match="outside"):
+        block.coins(csr, 32, 64)
+
+
+# ----------------------------------------------------------------------
+# Thread-safety of the version-keyed CSR snapshot cache
+# ----------------------------------------------------------------------
+def test_csr_snapshot_threaded_hammer_with_mutations():
+    import threading
+
+    g = uncertain_gnp(120, 0.05, seed=9)
+    # version -> arc count, recorded by the mutator before and after
+    # every mutation; any snapshot must match the arc count of the
+    # version it claims to be.
+    recorded = {g.version: g.num_arcs}
+    record_lock = threading.Lock()
+    stop = threading.Event()
+    failures = []
+
+    def mutator():
+        node = 0
+        while not stop.is_set():
+            g.add_arc(node % 120, (node * 7 + 1) % 120, 0.5)
+            with record_lock:
+                recorded[g.version] = g.num_arcs
+            node += 1
+
+    def reader():
+        try:
+            for _ in range(300):
+                snap = csr_snapshot(g)
+                with record_lock:
+                    expected = recorded.get(snap.version)
+                if expected is not None and snap.num_arcs != expected:
+                    failures.append(
+                        f"torn snapshot: version {snap.version} has "
+                        f"{snap.num_arcs} arcs, expected {expected}"
+                    )
+                assert snap.indptr[-1] == snap.num_arcs
+                assert snap.rev_indptr[-1] == snap.num_arcs
+        except Exception as error:  # noqa: BLE001 - surfaced below
+            failures.append(repr(error))
+
+    readers = [threading.Thread(target=reader) for _ in range(8)]
+    mut = threading.Thread(target=mutator, daemon=True)
+    mut.start()
+    for thread in readers:
+        thread.start()
+    for thread in readers:
+        thread.join()
+    stop.set()
+    mut.join(timeout=10)
+    assert not failures, failures[:3]
+
+
+def test_csr_snapshot_cache_reused_until_mutation():
+    g = uncertain_gnp(25, 0.2, seed=10)
+    first = csr_snapshot(g)
+    assert csr_snapshot(g) is first
+    g.add_arc(0, 24, 0.9)
+    second = csr_snapshot(g)
+    assert second is not first
+    assert second.version == g.version
