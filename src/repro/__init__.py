@@ -36,6 +36,7 @@ from .errors import (
     QueryDeadlineError,
     InjectedFault,
     BackendUnavailableError,
+    ShardUnavailableError,
 )
 from .resilience import (
     QueryBudget,
@@ -46,6 +47,7 @@ from .resilience import (
     UNVERIFIED,
 )
 from .graph.uncertain import UncertainGraph, SubgraphView
+from .graph.exact import exact_reliability, exact_reliability_search
 from .core.rqtree import RQTree, ClusterNode
 from .core.builder import build_rqtree, BuildReport
 from .core.engine import RQTreeEngine, QueryResult
@@ -89,6 +91,7 @@ from .influence.spread import expected_spread_mc, expected_spread_histogram
 from .influence.greedy import greedy_mc, greedy_rqtree, GreedyTrace
 from .influence.ris import ris_influence_maximization, build_rr_sketch, RRSketch
 from .graph.correlated import SharedFateModel, correlated_mc_search
+from .shard import ShardPlan, build_shard_plan, ShardedRQTreeEngine
 from .apps.clustering import reliable_kcenter, ReliableClustering
 from .apps.hardening import greedy_hardening, HardeningPlan
 from .datasets.registry import load_dataset, dataset_names
@@ -111,6 +114,7 @@ __all__ = [
     "QueryDeadlineError",
     "InjectedFault",
     "BackendUnavailableError",
+    "ShardUnavailableError",
     # resilience
     "QueryBudget",
     "BudgetClock",
@@ -121,6 +125,8 @@ __all__ = [
     # graph
     "UncertainGraph",
     "SubgraphView",
+    "exact_reliability",
+    "exact_reliability_search",
     # index
     "RQTree",
     "ClusterNode",
@@ -153,6 +159,10 @@ __all__ = [
     "CachingRQTreeEngine",
     "CacheStats",
     "WorldIndex",
+    # sharded serving
+    "ShardPlan",
+    "build_shard_plan",
+    "ShardedRQTreeEngine",
     # baselines
     "mc_sampling_search",
     "mc_reliability",

@@ -189,6 +189,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-capacity", type=int, default=1024)
     serve.add_argument("--no-batching", action="store_true",
                        help="disable cross-query world batching (A/B)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="split the graph into K partition-aligned "
+                       "shards, one engine process each")
+    serve.add_argument("--shard-mode", choices=("process", "inline"),
+                       default="process",
+                       help="run shard engines in worker processes or "
+                       "inline (debugging)")
 
     bench_serve = commands.add_parser(
         "bench-serve",
@@ -219,6 +226,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None,
         help="write the service's metrics snapshot JSON here",
     )
+    bench_serve.add_argument("--shards", type=int, default=None,
+                             help="shard the in-process service's graph "
+                             "K ways (ignored with --url)")
+    bench_serve.add_argument("--shard-mode", choices=("process", "inline"),
+                             default="process")
 
     detect = commands.add_parser(
         "detect",
@@ -532,6 +544,8 @@ def _build_service(args: argparse.Namespace):
         admission=admission,
         cache=cache,
         enable_batching=not getattr(args, "no_batching", False),
+        shards=getattr(args, "shards", None),
+        shard_mode=getattr(args, "shard_mode", "process"),
     )
 
 
@@ -542,10 +556,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = ServiceHTTPServer(service, host=args.host, port=args.port)
     host, port = server.address
     engine = service.engine
+    shards = getattr(engine, "num_shards", None)
+    shard_note = "" if shards is None else f", {shards} shards"
     print(
         f"serving {engine.graph.num_nodes} nodes / "
         f"{engine.graph.num_arcs} arcs on http://{host}:{port} "
-        f"({service.workers} workers)",
+        f"({service.workers} workers{shard_note})",
         flush=True,
     )
     server.serve_forever()

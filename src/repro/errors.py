@@ -134,6 +134,23 @@ class InjectedFault(ReproError, RuntimeError):
         )
 
 
+class ShardUnavailableError(ReproError):
+    """A shard worker could not answer a sub-query.
+
+    Raised by the shard transport (:mod:`repro.shard.worker`) when a
+    worker process dies, fails to build its index, times out, or its
+    runtime raises.  The sharded gateway engine never lets it escape a
+    query: an unavailable shard degrades the answer (``degraded=True``,
+    the shard's candidates missing from the pool) instead of failing it
+    — the same never-raise contract budgets follow.
+    """
+
+    def __init__(self, shard_id: int, reason: str) -> None:
+        self.shard_id = shard_id
+        self.reason = reason
+        super().__init__(f"shard {shard_id} unavailable: {reason}")
+
+
 class BackendUnavailableError(ReproError, ValueError):
     """An explicitly requested sampling backend cannot run here.
 

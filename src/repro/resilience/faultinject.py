@@ -49,6 +49,10 @@ INJECTION_POINTS = frozenset(
         # (de)serialization.
         "rqtree.serialize",
         "rqtree.deserialize",
+        # repro.shard.runtime.ShardRuntime.handle: entry of one shard's
+        # sub-query (plans are process-global, so this only reaches
+        # inline-mode shards — see repro.shard.worker).
+        "shard.handle",
     }
 )
 

@@ -105,12 +105,16 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         if self.path == "/healthz":
             engine = self._service.engine
-            self._reply(200, {
+            health = {
                 "status": "ok",
                 "nodes": engine.graph.num_nodes,
                 "arcs": engine.graph.num_arcs,
                 "workers": self._service.workers,
-            })
+            }
+            shards = getattr(engine, "num_shards", None)
+            if shards is not None:
+                health["shards"] = shards
+            self._reply(200, health)
         elif self.path == "/metrics":
             self._reply(200, self._service.metrics_snapshot())
         else:

@@ -2,7 +2,9 @@
 
 This is the facade the CLI's ``repro serve`` and the tests drive.  It
 ties the serving-layer pieces together around a single
-:class:`~repro.core.engine.RQTreeEngine`:
+:class:`~repro.core.engine.RQTreeEngine` (or, with ``shards=K``, a
+:class:`~repro.shard.ShardedRQTreeEngine` spanning ``K`` worker
+processes — the request path is identical either way):
 
 * requests enter through :meth:`submit` (non-blocking, returns a
   :class:`concurrent.futures.Future`) or :meth:`query` (blocking);
@@ -39,6 +41,7 @@ from ..core.caching import CachingRQTreeEngine
 from ..core.candidates import CandidateResult
 from ..core.engine import QueryResult, RQTreeEngine
 from ..resilience.budget import QueryBudget
+from ..shard.engine import ShardedRQTreeEngine
 from .batcher import BatchKey, WorldBatcher
 from .cache import TTLResultCache
 from .metrics import MetricsRegistry, get_registry
@@ -114,22 +117,56 @@ class ReliabilityService:
         Whether eligible concurrent queries share sampled worlds.
         Sharing never changes answers; disabling it exists for A/B
         benchmarking.
+    shards:
+        ``None`` (default) serves the given engine directly.  A count
+        ``K >= 1`` replaces it with a
+        :class:`~repro.shard.ShardedRQTreeEngine` built over the same
+        graph — ``K`` partition-aligned engines in worker processes
+        behind the scatter-gather gateway — which the service then
+        owns (and closes on :meth:`stop`).  Alternatively pass an
+        already-built sharded engine as *engine* (the service does not
+        close engines it did not build).
+    shard_mode:
+        ``"process"`` or ``"inline"``; forwarded to
+        :meth:`ShardedRQTreeEngine.build` when *shards* is set.
+    shard_seed:
+        Root seed for the shard plan and per-shard index builds.
     """
 
     def __init__(
         self,
-        engine: Union[RQTreeEngine, CachingRQTreeEngine],
+        engine: Union[
+            RQTreeEngine, CachingRQTreeEngine, ShardedRQTreeEngine
+        ],
         workers: int = 4,
         admission: Optional[AdmissionPolicy] = None,
         cache: Optional[TTLResultCache] = None,
         registry: Optional[MetricsRegistry] = None,
         enable_batching: bool = True,
+        shards: Optional[int] = None,
+        shard_mode: str = "process",
+        shard_seed: int = 0,
     ) -> None:
         if isinstance(engine, CachingRQTreeEngine):
             self._engine_cache_stats = engine.stats
             engine = engine.engine
         else:
             self._engine_cache_stats = None
+        self._owned_sharded: Optional[ShardedRQTreeEngine] = None
+        if shards is not None:
+            if isinstance(engine, ShardedRQTreeEngine):
+                raise ValueError(
+                    "pass either an already-sharded engine or shards=K, "
+                    "not both"
+                )
+            engine = ShardedRQTreeEngine.build(
+                engine.graph,
+                shards=shards,
+                seed=shard_seed,
+                mode=shard_mode,
+                flow_engine=getattr(engine, "flow_engine", "dinic"),
+            )
+            self._owned_sharded = engine
         self._engine = engine
         self._registry = registry
         self._cache = cache if cache is not None else TTLResultCache()
@@ -166,6 +203,8 @@ class ReliabilityService:
 
     def stop(self, drain: bool = True) -> None:
         self._pool.stop(drain=drain)
+        if self._owned_sharded is not None:
+            self._owned_sharded.close()
 
     def __enter__(self) -> "ReliabilityService":
         return self.start()
@@ -363,7 +402,7 @@ class ReliabilityService:
             ),
             candidate_seconds=0.0,
             verification_seconds=0.0,
-            tree_height=self._engine.tree.height,
+            tree_height=self._engine_height(),
             num_graph_nodes=self._engine.graph.num_nodes,
             statuses={},
             degraded=True,
@@ -371,6 +410,14 @@ class ReliabilityService:
             worlds_used=0,
             achieved_confidence=0.0,
         )
+
+    def _engine_height(self) -> int:
+        """Index height for shed results: the RQ-tree's for a plain
+        engine, the tallest per-shard tree for a sharded one."""
+        tree = getattr(self._engine, "tree", None)
+        if tree is not None:
+            return tree.height
+        return getattr(self._engine, "tree_height", 0)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -395,6 +442,10 @@ class ReliabilityService:
             "result_cache": self._cache.stats.as_dict(),
             "result_cache_entries": len(self._cache),
         }
+        shards = getattr(self._engine, "num_shards", None)
+        if shards is not None:
+            service["shards"] = shards
+            service["shard_mode"] = self._engine.mode
         if self._engine_cache_stats is not None:
             service["engine_cache"] = self._engine_cache_stats.as_dict()
         snapshot["service"] = service

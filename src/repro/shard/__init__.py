@@ -1,0 +1,35 @@
+"""repro.shard — partition-aligned multi-process serving.
+
+Splits the graph into ``K`` shards along the RQ-tree's own balanced
+cuts, builds an independent engine per shard (one spawned worker
+process each, or inline for tests), and answers queries with a
+scatter-gather planner plus a bounded cross-shard refinement pass.
+
+* :mod:`repro.shard.plan` — :class:`ShardPlan` /
+  :func:`build_shard_plan`: the K-way partition, node ownership, and
+  the frontier arc set;
+* :mod:`repro.shard.runtime` — :class:`ShardRuntime`: one shard's
+  subgraph + RQ-tree engine, shared verbatim by both execution modes;
+* :mod:`repro.shard.worker` — the spawn-safe worker loop and the
+  process / inline clients;
+* :mod:`repro.shard.engine` — :class:`ShardedRQTreeEngine`: the
+  query facade (same signature as :class:`~repro.core.engine.RQTreeEngine`).
+
+See ``docs/ARCHITECTURE.md`` ("Sharded serving") for the query
+lifecycle and the exactness/degradation contract.
+"""
+
+from .engine import ShardedRQTreeEngine
+from .plan import ShardPlan, build_shard_plan
+from .runtime import ShardRuntime, build_shard_payload
+from .worker import InlineShardClient, ProcessShardClient
+
+__all__ = [
+    "ShardPlan",
+    "build_shard_plan",
+    "ShardRuntime",
+    "build_shard_payload",
+    "InlineShardClient",
+    "ProcessShardClient",
+    "ShardedRQTreeEngine",
+]

@@ -1,0 +1,616 @@
+"""ShardedRQTreeEngine: scatter-gather queries over partition shards.
+
+The sharded engine presents the exact :meth:`RQTreeEngine.query`
+signature over ``K`` partition-aligned shards, each holding an
+independent RQ-tree on its slice of the graph (built in its own worker
+process in ``mode="process"``).  A query runs in three steps:
+
+1. **Scatter** — sources are routed to their owning shards
+   (:attr:`ShardPlan.shard_of`) and each owning shard answers the
+   sub-query ``RS(S ∩ shard, η)`` on its subgraph: candidate generation
+   plus most-likely-path verification, under the remaining slice of the
+   query budget.  Shards hold disjoint node sets, so sub-queries carry
+   no overlapping work and run concurrently — across the shards of one
+   query and across concurrent queries (each worker is its own
+   process, so the GIL stops mattering).
+2. **Gather** — per-shard candidate sets, locally certified answers,
+   and instrumentation are merged.  A local certificate is globally
+   sound (a path inside a shard subgraph is a path of ``G``); a local
+   *rejection* is not (the best path may cross shards), so only
+   confirmations survive the merge.
+3. **Refine** — one *bounded* cross-shard pass accounts for every path
+   the shards could not see.  A truncated multi-source Dijkstra over
+   the whole graph (frontier arcs included), cut off at the query
+   threshold, expands only nodes whose most-likely-path probability
+   can still reach ``η`` — the answer's own neighbourhood, not the
+   graph.  For ``method="lb"`` this *is* the final answer (and it
+   equals the single-engine answer exactly: any prefix of an
+   above-threshold path is itself above threshold, so candidate
+   restriction never hides an optimal path).  For ``"lb+"`` the
+   edge-packing verifier reruns over the merged pool.  For ``"mc"``
+   the existing batched sampling kernel verifies the merged pool on
+   the *whole* graph — per-shard MC would miss cross-shard worlds —
+   with the pool widened by a most-likely-path floor
+   (``mc_refine_floor``); at floor 0 this falls back to whole-graph
+   MC over all nodes.
+
+Degradation mirrors the single-engine budget contract: an expired
+deadline skips refinement and returns the shard certificates (sound,
+possibly incomplete); a dead or timed-out shard marks the answer
+degraded but never fails the query — for ``"lb"`` the refinement pass
+recomputes the full answer anyway, so even a query that loses every
+shard still answers exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from ..core.candidates import CandidateResult
+from ..core.engine import QueryResult, RQTreeEngine
+from ..errors import (
+    InvalidThresholdError,
+    NodeNotFoundError,
+    ShardUnavailableError,
+)
+from ..graph.paths import (
+    hop_bounded_path_probabilities,
+    most_likely_path_probabilities,
+)
+from ..graph.uncertain import UncertainGraph
+from ..core.verification import (
+    verify_lower_bound_packing,
+    verify_sampling_report,
+)
+from ..resilience.budget import (
+    CONFIRMED,
+    REJECTED,
+    UNVERIFIED,
+    BudgetClock,
+    QueryBudget,
+)
+from .plan import ShardPlan, build_shard_plan
+from .runtime import build_shard_payload
+from .worker import InlineShardClient, ProcessShardClient
+
+__all__ = ["ShardedRQTreeEngine"]
+
+#: Mirrors repro.core.verification._ETA_SLACK: the relative tolerance
+#: the lower-bound verifier applies when comparing against eta.  The
+#: gateway's refinement pass must use the identical cutoff to reproduce
+#: single-engine answers bit for bit.
+_ETA_SLACK = 1e-9
+
+#: Grace added to a budgeted query's shard-response timeout: covers
+#: queue hops so a shard that honours its (already expired) deadline
+#: still gets to deliver its degraded partial answer.
+_WAIT_GRACE_SECONDS = 2.0
+
+
+class ShardedRQTreeEngine:
+    """K partition-aligned shard engines behind one query facade.
+
+    Build one directly over a graph::
+
+        sharded = ShardedRQTreeEngine.build(graph, shards=4, seed=7)
+        try:
+            result = sharded.query([source], eta=0.6)
+        finally:
+            sharded.close()
+
+    or use it as a context manager.  The query surface is identical to
+    :class:`RQTreeEngine` — the serving layer swaps one for the other
+    without changes to request handling.
+
+    Parameters (``build``)
+    ----------------------
+    shards:
+        Number of shards ``K`` (1 is valid: one worker holding the
+        whole graph).
+    mode:
+        ``"process"`` (default) spawns one worker process per shard;
+        ``"inline"`` keeps every shard runtime in-process (tests,
+        debugging, fault injection).
+    seed:
+        Root seed for the shard plan and the per-shard index builds
+        (fanned out through :mod:`repro.seeding`).
+    mc_refine_floor:
+        Pool-widening knob for ``method="mc"``: the refinement pool
+        additionally includes every node whose global most-likely-path
+        probability is at least ``eta * mc_refine_floor``.  ``0``
+        disables the floor and samples the whole graph (the safe,
+        expensive fallback).
+    shard_timeout_seconds:
+        How long an *unbudgeted* query waits for each shard before
+        declaring it unavailable (``None`` = wait for the worker or
+        its death).  Budgeted queries always wait at most the
+        remaining deadline plus a small grace.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        plan: ShardPlan,
+        clients: Sequence[object],
+        mode: str,
+        flow_engine: str = "dinic",
+        mc_refine_floor: float = 0.5,
+        shard_timeout_seconds: Optional[float] = None,
+    ) -> None:
+        if plan.num_nodes != graph.num_nodes:
+            raise ValueError(
+                "shard plan and graph disagree on the number of nodes: "
+                f"{plan.num_nodes} vs {graph.num_nodes}"
+            )
+        if not 0.0 <= mc_refine_floor <= 1.0:
+            raise ValueError(
+                f"mc_refine_floor must be in [0, 1], got {mc_refine_floor}"
+            )
+        self.graph = graph
+        self.plan = plan
+        self.mode = mode
+        self.flow_engine = flow_engine
+        self.mc_refine_floor = mc_refine_floor
+        self.shard_timeout_seconds = shard_timeout_seconds
+        self._clients = list(clients)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction / lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: UncertainGraph,
+        shards: int = 4,
+        seed: int = 0,
+        mode: str = "process",
+        max_imbalance: float = 0.1,
+        strategy: str = "multilevel",
+        flow_engine: str = "dinic",
+        mc_refine_floor: float = 0.5,
+        shard_timeout_seconds: Optional[float] = None,
+        start_timeout: float = 300.0,
+    ) -> "ShardedRQTreeEngine":
+        """Plan the partition, then build one engine per shard."""
+        if mode not in ("process", "inline"):
+            raise ValueError(
+                f"unknown shard mode {mode!r}; expected 'process' or 'inline'"
+            )
+        plan = build_shard_plan(
+            graph, shards, seed=seed,
+            max_imbalance=max_imbalance, strategy=strategy,
+        )
+        payloads = [
+            build_shard_payload(
+                graph, plan, shard_id, seed=seed, flow_engine=flow_engine,
+                max_imbalance=max_imbalance, strategy=strategy,
+            )
+            for shard_id in range(plan.num_shards)
+        ]
+        clients: List[object] = []
+        try:
+            if mode == "process":
+                # Start every worker before waiting on any: the K index
+                # builds overlap instead of serializing.
+                clients = [ProcessShardClient(p) for p in payloads]
+                for client in clients:
+                    client.wait_ready(timeout=start_timeout)
+            else:
+                clients = [InlineShardClient(p) for p in payloads]
+        except BaseException:
+            for client in clients:
+                try:
+                    client.close()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+            raise
+        return cls(
+            graph, plan, clients, mode,
+            flow_engine=flow_engine,
+            mc_refine_floor=mc_refine_floor,
+            shard_timeout_seconds=shard_timeout_seconds,
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    @property
+    def tree_height(self) -> int:
+        """Tallest per-shard RQ-tree (the sharded analogue of
+        ``engine.tree.height``; used by height-ratio style reporting)."""
+        return max(
+            (client.tree_height for client in self._clients), default=0
+        )
+
+    def close(self) -> None:
+        """Shut down every shard worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for client in self._clients:
+            client.close()
+
+    def __enter__(self) -> "ShardedRQTreeEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        sources: Union[int, Sequence[int]],
+        eta: float,
+        method: str = "lb",
+        num_samples: int = 1000,
+        seed: Optional[int] = None,
+        multi_source_mode: str = "greedy",
+        max_hops: Optional[int] = None,
+        backend: str = "auto",
+        budget: Optional[QueryBudget] = None,
+        coin_source=None,
+    ) -> QueryResult:
+        """Answer ``RS(S, eta)`` by scatter, gather, and refinement.
+
+        Same signature, semantics, and degradation contract as
+        :meth:`RQTreeEngine.query`; see the module docstring for how
+        each method's verification is distributed.
+        """
+        source_list = RQTreeEngine._normalize_sources(sources)
+        for node in source_list:
+            if node not in self.graph:
+                raise NodeNotFoundError(node)
+        if math.isnan(eta) or not 0.0 < eta < 1.0:
+            raise InvalidThresholdError(eta, context="sharded query")
+        if method not in ("lb", "lb+", "mc"):
+            raise ValueError(
+                f"unknown method {method!r}; expected 'lb', 'lb+' or 'mc'"
+            )
+        if method == "lb+" and max_hops is not None:
+            raise ValueError(
+                "max_hops is not supported with method='lb+'; "
+                "use 'lb' or 'mc'"
+            )
+        if method == "mc" and num_samples <= 0:
+            raise ValueError(
+                f"num_samples must be positive, got {num_samples}"
+            )
+        if self._closed:
+            raise ShardUnavailableError(-1, "engine is closed")
+        clock = budget.start() if budget is not None else None
+        registry = self._registry()
+        registry.counter("shard.queries").inc()
+
+        # -- scatter / gather ------------------------------------------
+        scatter_start = time.perf_counter()
+        gather = self._scatter_gather(
+            source_list, eta, multi_source_mode, max_hops, clock, registry
+        )
+        candidate_seconds = time.perf_counter() - scatter_start
+        registry.histogram("shard.scatter_seconds").observe(
+            candidate_seconds
+        )
+
+        # -- refine -----------------------------------------------------
+        refine_start = time.perf_counter()
+        refined = self._refine(
+            source_list, eta, method, num_samples, seed, max_hops,
+            backend, clock, coin_source, gather,
+        )
+        verification_seconds = time.perf_counter() - refine_start
+        registry.histogram("shard.refine_seconds").observe(
+            verification_seconds
+        )
+
+        degraded = gather["degraded"] or refined["degraded"]
+        degraded_reason = (
+            gather["degraded_reason"] or refined["degraded_reason"]
+        )
+        if degraded:
+            registry.counter("shard.degraded").inc()
+
+        candidate_result = CandidateResult(
+            candidates=refined["pool"],
+            clusters_visited=gather["clusters_visited"],
+            flow_calls=gather["flow_calls"],
+            final_upper_bound=0.0,
+            max_subgraph_nodes=gather["max_subgraph_nodes"],
+            max_subgraph_arcs=gather["max_subgraph_arcs"],
+        )
+        return QueryResult(
+            nodes=refined["kept"],
+            eta=eta,
+            sources=source_list,
+            method=method,
+            candidate_result=candidate_result,
+            candidate_seconds=candidate_seconds,
+            verification_seconds=verification_seconds,
+            tree_height=self.tree_height,
+            num_graph_nodes=self.graph.num_nodes,
+            statuses=refined["statuses"],
+            degraded=degraded,
+            degraded_reason=degraded_reason,
+            worlds_used=refined["worlds_used"],
+            achieved_confidence=_achieved_confidence(refined["statuses"]),
+            backend_fallbacks=refined["backend_fallbacks"],
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1+2: scatter / gather
+    # ------------------------------------------------------------------
+    def _scatter_gather(
+        self,
+        source_list: List[int],
+        eta: float,
+        multi_source_mode: str,
+        max_hops: Optional[int],
+        clock: Optional[BudgetClock],
+        registry,
+    ) -> Dict[str, object]:
+        by_shard: Dict[int, List[int]] = {}
+        for node in source_list:
+            by_shard.setdefault(self.plan.shard_of[node], []).append(node)
+        sub_budget = self._sub_budget(clock)
+
+        handles = []
+        for shard_id in sorted(by_shard):
+            request = {
+                "sources": by_shard[shard_id],
+                "eta": eta,
+                "multi_source_mode": multi_source_mode,
+                "max_hops": max_hops,
+                "budget": sub_budget,
+            }
+            try:
+                handles.append(
+                    (shard_id, self._clients[shard_id].submit(request))
+                )
+            except ShardUnavailableError as error:
+                handles.append((shard_id, error))
+
+        merged: Dict[str, object] = {
+            "candidates": set(),
+            "confirmed": set(),
+            "clusters_visited": 0,
+            "flow_calls": 0,
+            "max_subgraph_nodes": 0,
+            "max_subgraph_arcs": 0,
+            "degraded": False,
+            "degraded_reason": None,
+        }
+        failures: List[str] = []
+        shard_degraded: Optional[str] = None
+        for shard_id, handle in handles:
+            if isinstance(handle, ShardUnavailableError):
+                failures.append(str(handle))
+                registry.counter("shard.unavailable").inc()
+                continue
+            try:
+                response = self._clients[shard_id].wait(
+                    handle, timeout=self._wait_timeout(clock)
+                )
+            except ShardUnavailableError as error:
+                failures.append(str(error))
+                registry.counter("shard.unavailable").inc()
+                continue
+            merged["candidates"].update(response["candidates"])
+            merged["confirmed"].update(response["kept"])
+            merged["clusters_visited"] += response["clusters_visited"]
+            merged["flow_calls"] += response["flow_calls"]
+            merged["max_subgraph_nodes"] = max(
+                merged["max_subgraph_nodes"],
+                response["max_subgraph_nodes"],
+            )
+            merged["max_subgraph_arcs"] = max(
+                merged["max_subgraph_arcs"], response["max_subgraph_arcs"]
+            )
+            registry.counter(f"shard.{shard_id}.queries").inc()
+            registry.histogram(f"shard.{shard_id}.seconds").observe(
+                response["seconds"]
+            )
+            if response["degraded"] and shard_degraded is None:
+                shard_degraded = (
+                    f"shard {shard_id}: "
+                    f"{response['degraded_reason'] or 'budget exhausted'}"
+                )
+        if failures:
+            merged["degraded"] = True
+            merged["degraded_reason"] = "; ".join(failures)
+        elif shard_degraded is not None:
+            merged["degraded"] = True
+            merged["degraded_reason"] = shard_degraded
+        return merged
+
+    # ------------------------------------------------------------------
+    # Phase 3: bounded cross-shard refinement
+    # ------------------------------------------------------------------
+    def _refine(
+        self,
+        source_list: List[int],
+        eta: float,
+        method: str,
+        num_samples: int,
+        seed: Optional[int],
+        max_hops: Optional[int],
+        backend: str,
+        clock: Optional[BudgetClock],
+        coin_source,
+        gather: Dict[str, object],
+    ) -> Dict[str, object]:
+        source_set = set(source_list)
+        candidates: Set[int] = gather["candidates"]
+        confirmed: Set[int] = gather["confirmed"]
+
+        if clock is not None and clock.expired():
+            # Deadline gone before the cross-shard pass could run: the
+            # shard certificates (plus the sources themselves, answers
+            # by definition) are the sound partial answer.
+            kept = confirmed | source_set
+            pool = candidates | kept
+            statuses = {
+                node: (CONFIRMED if node in kept else UNVERIFIED)
+                for node in pool
+            }
+            return {
+                "kept": kept,
+                "pool": pool,
+                "statuses": statuses,
+                "degraded": True,
+                "degraded_reason":
+                    "deadline expired before cross-shard refinement",
+                "worlds_used": 0,
+                "backend_fallbacks": 0,
+            }
+
+        cutoff = eta * (1.0 - _ETA_SLACK)
+        probe = cutoff
+        if method in ("lb+", "mc") and self.mc_refine_floor > 0.0:
+            probe = min(cutoff, eta * self.mc_refine_floor)
+        if max_hops is not None:
+            reachable = hop_bounded_path_probabilities(
+                self.graph, source_list, max_hops, min_probability=probe
+            )
+        else:
+            reachable = most_likely_path_probabilities(
+                self.graph, source_list, min_probability=probe
+            )
+        certified = {
+            node for node, prob in reachable.items() if prob >= cutoff
+        }
+
+        if method == "lb":
+            kept = certified | confirmed
+            pool = candidates | kept
+            statuses = {
+                node: (CONFIRMED if node in kept else REJECTED)
+                for node in pool
+            }
+            return _refined(kept, pool, statuses)
+
+        if method == "lb+":
+            pool = candidates | set(reachable) | certified | source_set
+            if clock is not None and clock.expired():
+                kept = certified | confirmed | source_set
+                statuses = {
+                    node: (CONFIRMED if node in kept else UNVERIFIED)
+                    for node in pool
+                }
+                return _refined(
+                    kept, pool, statuses, degraded=True,
+                    reason="deadline expired before packing verification",
+                )
+            kept = verify_lower_bound_packing(
+                self.graph, source_list, eta, pool
+            )
+            kept |= certified | confirmed
+            statuses = {
+                node: (CONFIRMED if node in kept else REJECTED)
+                for node in pool
+            }
+            return _refined(kept, pool, statuses)
+
+        # method == "mc": one whole-graph sampling pass over the merged
+        # pool through the existing (batched) kernel.
+        if self.mc_refine_floor <= 0.0:
+            pool = set(self.graph.nodes())
+        else:
+            pool = candidates | set(reachable) | certified | source_set
+        report = verify_sampling_report(
+            self.graph,
+            source_list,
+            eta,
+            pool,
+            num_samples=num_samples,
+            seed=seed,
+            max_hops=max_hops,
+            backend=backend,
+            budget=clock,
+            coin_source=coin_source,
+        )
+        kept = set(report.kept)
+        statuses = dict(report.statuses)
+        if report.degraded or gather["degraded"]:
+            # Partial sampling: shard lower-bound certificates are
+            # certain, so fold them back in (degraded, never wrong).
+            kept |= confirmed
+            for node in confirmed:
+                statuses[node] = CONFIRMED
+        return {
+            "kept": kept,
+            "pool": pool,
+            "statuses": statuses,
+            "degraded": report.degraded,
+            "degraded_reason": report.degraded_reason,
+            "worlds_used": report.worlds_used,
+            "backend_fallbacks": report.backend_fallbacks,
+        }
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _sub_budget(
+        self, clock: Optional[BudgetClock]
+    ) -> Optional[Dict[str, object]]:
+        """Serialize the *remaining* budget for a shard sub-query.
+
+        The deadline is re-anchored at send time (workers cannot share
+        the gateway's clock), so queue hops eat into it — conservative
+        in the right direction.  World caps stay with the gateway,
+        where all sampling happens.
+        """
+        if clock is None:
+            return None
+        budget = clock.budget
+        deadline = budget.deadline_seconds
+        return {
+            "deadline_seconds": (
+                None if deadline is None
+                else max(clock.remaining_seconds(), 1e-6)
+            ),
+            "max_candidate_nodes": budget.max_candidate_nodes,
+            "confidence": budget.confidence,
+        }
+
+    def _wait_timeout(
+        self, clock: Optional[BudgetClock]
+    ) -> Optional[float]:
+        if clock is not None and clock.budget.deadline_seconds is not None:
+            return clock.remaining_seconds() + _WAIT_GRACE_SECONDS
+        return self.shard_timeout_seconds
+
+    @staticmethod
+    def _registry():
+        from ..service.metrics import get_registry
+
+        return get_registry()
+
+
+def _refined(
+    kept: Set[int],
+    pool: Set[int],
+    statuses: Dict[int, str],
+    degraded: bool = False,
+    reason: Optional[str] = None,
+) -> Dict[str, object]:
+    return {
+        "kept": kept,
+        "pool": pool,
+        "statuses": statuses,
+        "degraded": degraded,
+        "degraded_reason": reason,
+        "worlds_used": 0,
+        "backend_fallbacks": 0,
+    }
+
+
+def _achieved_confidence(statuses: Dict[str, str]) -> float:
+    if not statuses:
+        return 1.0
+    decided = sum(1 for status in statuses.values() if status != UNVERIFIED)
+    return decided / len(statuses)

@@ -1,0 +1,161 @@
+"""Per-shard engine runtime: payload construction and sub-query handling.
+
+One :class:`ShardRuntime` owns one shard's slice of the graph and a full
+:class:`RQTreeEngine` built on it.  Both execution modes of the sharded
+engine run the *same* runtime — ``mode="process"`` reconstructs it from
+a picklable payload inside a spawned worker (:mod:`repro.shard.worker`),
+``mode="inline"`` holds it in the gateway process — so the two modes
+compute identical sub-query answers by construction.
+
+A sub-query always runs the paper's LB pipeline (candidate generation +
+most-likely-path verification) on the shard subgraph, whatever
+verification method the gateway query asked for:
+
+* the shard's *candidate set* seeds the gateway's refinement pool
+  (lifted to global ids);
+* the shard's *confirmed set* is globally sound — a path inside a shard
+  subgraph is a path of the whole graph, so a local lower-bound
+  certificate is a global one — and survives as a partial answer even
+  when the gateway's refinement is cut short by a budget or a dead
+  shard;
+* sampling (for ``method="mc"``) happens once, at the gateway, on the
+  merged pool, so MC verdict semantics match the single-engine path.
+
+Everything in the payload and the request/response dicts is plain
+picklable data (ints, floats, strings, lists, dicts) — the spawn-based
+worker transport requires it, and it keeps the protocol inspectable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..core.engine import RQTreeEngine
+from ..graph.uncertain import UncertainGraph
+from ..resilience.budget import QueryBudget
+from ..resilience.faultinject import fault_point
+from ..seeding import derive_seed
+from .plan import ShardPlan
+
+__all__ = ["ShardRuntime", "build_shard_payload"]
+
+
+def build_shard_payload(
+    graph: UncertainGraph,
+    plan: ShardPlan,
+    shard_id: int,
+    seed: int = 0,
+    flow_engine: str = "dinic",
+    max_imbalance: float = 0.1,
+    strategy: str = "multilevel",
+) -> Dict[str, object]:
+    """The picklable construction recipe for one shard's runtime.
+
+    Contains the shard's induced subgraph as a relabelled arc list plus
+    everything needed to rebuild its RQ-tree deterministically.  The
+    per-shard build seed is derived under the ``"shard.build"``
+    namespace, so distinct shards (and distinct root seeds) get
+    statistically independent index-construction streams.
+    """
+    members = plan.shard_nodes[shard_id]
+    local_of = {node: index for index, node in enumerate(members)}
+    member_set = set(members)
+    arcs: List[List[object]] = []
+    for u in members:
+        for v, p in graph.successors(u).items():
+            if v in member_set:
+                arcs.append([local_of[u], local_of[v], p])
+    return {
+        "shard_id": shard_id,
+        "num_nodes": len(members),
+        "arcs": arcs,
+        "global_ids": list(members),
+        "build_seed": derive_seed(seed, "shard.build", shard_id),
+        "flow_engine": flow_engine,
+        "max_imbalance": max_imbalance,
+        "strategy": strategy,
+    }
+
+
+class ShardRuntime:
+    """One shard's graph slice plus its private RQ-tree engine."""
+
+    def __init__(self, payload: Dict[str, object]) -> None:
+        self.shard_id: int = payload["shard_id"]
+        self._global_ids: List[int] = list(payload["global_ids"])
+        self._local_of = {
+            node: index for index, node in enumerate(self._global_ids)
+        }
+        graph = UncertainGraph(payload["num_nodes"])
+        for u, v, p in payload["arcs"]:
+            graph.add_arc(u, v, p)
+        self._engine = RQTreeEngine.build(
+            graph,
+            max_imbalance=payload["max_imbalance"],
+            seed=payload["build_seed"],
+            strategy=payload["strategy"],
+            flow_engine=payload["flow_engine"],
+        )
+
+    @property
+    def engine(self) -> RQTreeEngine:
+        return self._engine
+
+    @property
+    def tree_height(self) -> int:
+        return self._engine.tree.height
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._global_ids)
+
+    def handle(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Answer one sub-query; ids in and out are *global*.
+
+        The request carries ``sources`` (global ids owned by this
+        shard), ``eta``, ``multi_source_mode``, ``max_hops``, and an
+        optional serialized budget (the gateway's remaining allowance at
+        send time).  The response carries the candidate/confirmed sets
+        and statuses lifted back to global ids, plus the
+        instrumentation the gateway merges into its
+        :class:`CandidateResult`.
+        """
+        fault_point("shard.handle")
+        started = time.perf_counter()
+        sources = [self._local_of[node] for node in request["sources"]]
+        budget_spec = request.get("budget")
+        budget: Optional[QueryBudget] = (
+            QueryBudget(**budget_spec) if budget_spec else None
+        )
+        result = self._engine.query(
+            sources,
+            request["eta"],
+            method="lb",
+            multi_source_mode=request.get("multi_source_mode", "greedy"),
+            max_hops=request.get("max_hops"),
+            budget=budget,
+        )
+        lift = self._global_ids
+        candidate_result = result.candidate_result
+        return {
+            "shard_id": self.shard_id,
+            "candidates": [
+                lift[node] for node in candidate_result.candidates
+            ],
+            "kept": [lift[node] for node in result.nodes],
+            "statuses": {
+                lift[node]: status
+                for node, status in result.statuses.items()
+            },
+            "seconds": time.perf_counter() - started,
+            "candidate_seconds": result.candidate_seconds,
+            "verification_seconds": result.verification_seconds,
+            "tree_height": result.tree_height,
+            "degraded": result.degraded,
+            "degraded_reason": result.degraded_reason,
+            "clusters_visited": candidate_result.clusters_visited,
+            "flow_calls": candidate_result.flow_calls,
+            "max_subgraph_nodes": candidate_result.max_subgraph_nodes,
+            "max_subgraph_arcs": candidate_result.max_subgraph_arcs,
+        }

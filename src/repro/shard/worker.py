@@ -1,0 +1,306 @@
+"""Shard worker transport: spawn-based processes and the inline stand-in.
+
+``mode="process"`` runs each :class:`~repro.shard.runtime.ShardRuntime`
+in its own ``multiprocessing`` worker using the **spawn** start method —
+the only one that is safe here, because the gateway process holds
+threads (the serving layer's worker pool) and locks (graph CSR caches)
+that a fork would duplicate mid-state.  Spawn re-imports the library in
+a fresh interpreter, so everything a worker needs travels in a picklable
+payload (:func:`~repro.shard.runtime.build_shard_payload`) and the loop
+function must be importable at module top level.
+
+The wire protocol is deliberately tiny: requests are
+``("query", request_id, request_dict)`` or ``("stop",)``, responses are
+``("ready" | "result" | "error" | "fatal", request_id, value)``.  The
+client side (:class:`ProcessShardClient`) tags every call with a fresh
+id and a background receiver thread routes responses to per-call
+events, so many gateway threads can have sub-queries in flight on the
+same shard at once (the worker answers them one at a time — each worker
+is single-threaded by design, one CPU core per shard).
+
+Failure surface: every transport problem — worker died, start-up
+failed, response timed out, the runtime raised — becomes a
+:class:`ShardUnavailableError`, which the gateway converts into a
+*degraded* (never wrong) answer.  :class:`InlineShardClient` presents
+the identical interface around an in-process runtime; it exists for
+tests (fault plans are process-global, so injection only reaches inline
+runtimes), debugging, and platforms where spawning is unwelcome.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from ..errors import ShardUnavailableError
+from .runtime import ShardRuntime
+
+__all__ = [
+    "InlineShardClient",
+    "ProcessShardClient",
+    "shard_worker_main",
+]
+
+
+def shard_worker_main(
+    payload: Dict[str, object],
+    requests: "multiprocessing.Queue",
+    responses: "multiprocessing.Queue",
+) -> None:
+    """Worker-process loop: build the runtime, then serve sub-queries.
+
+    Must stay importable at module top level (the spawn start method
+    imports this module in the child to find it).  All exceptions are
+    reported over the response queue rather than raised — a worker that
+    dies silently would stall the gateway.
+    """
+    try:
+        runtime = ShardRuntime(payload)
+    except BaseException as error:  # noqa: BLE001 - reported to parent
+        responses.put(("fatal", -1, f"{type(error).__name__}: {error}"))
+        return
+    responses.put(("ready", -1, runtime.tree_height))
+    while True:
+        message = requests.get()
+        if message[0] == "stop":
+            return
+        _, request_id, request = message
+        try:
+            responses.put(("result", request_id, runtime.handle(request)))
+        except BaseException as error:  # noqa: BLE001 - reported to parent
+            responses.put(
+                ("error", request_id, f"{type(error).__name__}: {error}")
+            )
+
+
+class _PendingCall:
+    """One in-flight sub-query awaiting its response."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[Dict[str, object]] = None
+        self.error: Optional[str] = None
+
+
+class ProcessShardClient:
+    """Gateway-side handle on one spawned shard worker.
+
+    Construction starts the process; :meth:`wait_ready` blocks until the
+    worker has built its index (the sharded engine starts all workers
+    first and only then waits, so K index builds overlap).  ``submit`` /
+    ``wait`` form an async pair so one gateway query can fan out to
+    several shards concurrently.
+    """
+
+    def __init__(self, payload: Dict[str, object]) -> None:
+        context = multiprocessing.get_context("spawn")
+        self.shard_id: int = payload["shard_id"]
+        self.num_nodes: int = payload["num_nodes"]
+        self.tree_height: int = 0
+        self._requests = context.Queue()
+        self._responses = context.Queue()
+        self._process = context.Process(
+            target=shard_worker_main,
+            args=(payload, self._requests, self._responses),
+            name=f"repro-shard-{self.shard_id}",
+            daemon=True,
+        )
+        self._process.start()
+        self._ready = False
+        self._closed = False
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._pending: Dict[int, _PendingCall] = {}
+        self._receiver: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Start-up
+    # ------------------------------------------------------------------
+    def wait_ready(self, timeout: float = 300.0) -> None:
+        """Block until the worker reports its index is built."""
+        if self._ready:
+            return
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.close()
+                raise ShardUnavailableError(
+                    self.shard_id, f"worker not ready within {timeout:.0f}s"
+                )
+            try:
+                kind, _, value = self._responses.get(
+                    timeout=min(remaining, 0.25)
+                )
+            except queue_module.Empty:
+                if not self._process.is_alive():
+                    raise ShardUnavailableError(
+                        self.shard_id, "worker process died during start-up"
+                    )
+                continue
+            if kind == "fatal":
+                self.close()
+                raise ShardUnavailableError(
+                    self.shard_id, f"index build failed: {value}"
+                )
+            if kind == "ready":
+                self.tree_height = int(value)
+                break
+        self._ready = True
+        self._receiver = threading.Thread(
+            target=self._receive_loop,
+            name=f"repro-shard-{self.shard_id}-recv",
+            daemon=True,
+        )
+        self._receiver.start()
+
+    def _receive_loop(self) -> None:
+        while not self._closed:
+            try:
+                kind, request_id, value = self._responses.get(timeout=0.25)
+            except queue_module.Empty:
+                continue
+            except (OSError, ValueError, EOFError):
+                return  # queue torn down during close()
+            # Look up WITHOUT popping: the response may land before the
+            # gateway thread reaches wait() for this handle (routine on
+            # multi-shard scatter, where it waits on the shards one at a
+            # time).  wait() owns the pop once the event fires.
+            with self._lock:
+                call = self._pending.get(request_id)
+            if call is None:
+                continue
+            if kind == "result":
+                call.result = value
+            else:
+                call.error = str(value)
+            call.event.set()
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def submit(self, request: Dict[str, object]) -> int:
+        """Enqueue one sub-query; returns a handle for :meth:`wait`."""
+        if not self._ready or self._closed:
+            raise ShardUnavailableError(self.shard_id, "client not running")
+        call = _PendingCall()
+        with self._lock:
+            request_id = self._next_id
+            self._next_id += 1
+            self._pending[request_id] = call
+        try:
+            self._requests.put(("query", request_id, request))
+        except (OSError, ValueError) as error:
+            with self._lock:
+                self._pending.pop(request_id, None)
+            raise ShardUnavailableError(
+                self.shard_id, f"request queue closed: {error}"
+            )
+        return request_id
+
+    def wait(
+        self, handle: int, timeout: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Block for the response to a :meth:`submit` handle."""
+        with self._lock:
+            call = self._pending.get(handle)
+        if call is None:
+            raise ShardUnavailableError(
+                self.shard_id, f"unknown request handle {handle}"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not call.event.wait(0.05):
+            if not self._process.is_alive() and not call.event.is_set():
+                with self._lock:
+                    self._pending.pop(handle, None)
+                raise ShardUnavailableError(
+                    self.shard_id, "worker process died"
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                with self._lock:
+                    self._pending.pop(handle, None)
+                raise ShardUnavailableError(
+                    self.shard_id, f"no response within {timeout:.3g}s"
+                )
+        with self._lock:
+            self._pending.pop(handle, None)
+        if call.error is not None:
+            raise ShardUnavailableError(self.shard_id, call.error)
+        assert call.result is not None
+        return call.result
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Stop the worker and release the transport (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._requests.put(("stop",))
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+        self._process.join(timeout=join_timeout)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join(timeout=join_timeout)
+        if self._receiver is not None:
+            self._receiver.join(timeout=join_timeout)
+        for q in (self._requests, self._responses):
+            q.close()
+            q.cancel_join_thread()
+        # Fail any call still outstanding.
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for call in pending:
+            call.error = "client closed"
+            call.event.set()
+
+
+class InlineShardClient:
+    """In-process drop-in for :class:`ProcessShardClient`.
+
+    Runs the runtime synchronously on the calling thread.  ``submit``
+    executes the sub-query eagerly and ``wait`` just unwraps, so the
+    client satisfies the same submit/wait contract the gateway drives.
+    Used by tests (process-global :class:`~repro.resilience.FaultPlan`
+    injection can only reach in-process runtimes), by debugging
+    sessions, and as a spawn-free fallback.
+    """
+
+    def __init__(self, payload: Dict[str, object]) -> None:
+        self.shard_id: int = payload["shard_id"]
+        self.num_nodes: int = payload["num_nodes"]
+        self._runtime = ShardRuntime(payload)
+        self.tree_height = self._runtime.tree_height
+
+    def wait_ready(self, timeout: float = 300.0) -> None:
+        pass  # construction already built the index
+
+    def submit(
+        self, request: Dict[str, object]
+    ) -> Tuple[str, object]:
+        try:
+            return ("result", self._runtime.handle(request))
+        except Exception as error:  # noqa: BLE001 - same surface as process
+            return ("error", f"{type(error).__name__}: {error}")
+
+    def wait(
+        self,
+        handle: Tuple[str, object],
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        kind, value = handle
+        if kind == "error":
+            raise ShardUnavailableError(self.shard_id, str(value))
+        return value  # type: ignore[return-value]
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        pass
