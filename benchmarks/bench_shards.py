@@ -34,7 +34,7 @@ from repro.eval.reporting import format_table
 from repro.graph.generators import uncertain_gnp
 from repro.shard import ShardedRQTreeEngine, build_shard_plan
 
-from conftest import write_result
+from conftest import host_info, write_result
 
 QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
 
@@ -87,6 +87,7 @@ def test_shard_count_scaling():
         engine = ShardedRQTreeEngine.build(
             graph, shards=shards, seed=SEED, mode=MODE,
         )
+        transport_used = engine.transport  # shm unless unavailable
         try:
             latencies = [None] * NUM_QUERIES
 
@@ -148,6 +149,7 @@ def test_shard_count_scaling():
                 "experiment": "shard_count_scaling",
                 "quick_mode": QUICK,
                 "mode": MODE,
+                "transport": transport_used,
                 "num_nodes": NUM_NODES,
                 "num_arcs": graph.num_arcs,
                 "existence_range": list(EXISTENCE_RANGE),
@@ -158,6 +160,7 @@ def test_shard_count_scaling():
                 "seed": SEED,
                 "sweep": records,
                 "qps_speedup_4v1": round(speedup, 3),
+                "host": host_info(),
             },
             indent=2,
         )

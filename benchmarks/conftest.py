@@ -14,8 +14,11 @@ reproduction uses the synthetic stand-ins of :mod:`repro.datasets` at
 
 from __future__ import annotations
 
+import os
+import platform
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro import RQTreeEngine, load_dataset
@@ -28,6 +31,23 @@ QUALITY_N = 2000
 NUM_SAMPLES = 800
 #: Queries averaged per configuration (paper: 100).
 NUM_QUERIES = 10
+
+
+def host_info() -> dict:
+    """Machine fingerprint embedded in every BENCH_*.json.
+
+    Throughput numbers are meaningless without the box they came from:
+    the committed baselines were measured on a 1-core container, and
+    the CI trajectory check needs to know when it is comparing across
+    different hosts.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
 
 
 def write_result(name: str, text: str) -> None:

@@ -41,7 +41,37 @@ except ImportError:  # pragma: no cover - numpy is a hard dep in practice
 
 from .csr import CSRGraph
 
-__all__ = ["CoinBlock"]
+__all__ = ["CoinBlock", "packed_columns", "pack_world_bits"]
+
+
+def packed_columns(num_worlds: int) -> int:
+    """Packed ``uint8`` columns holding *num_worlds* world bits.
+
+    ``ceil(num_worlds / 8)`` rounded up to a multiple of 8 bytes, so a
+    packed row is always view-castable to ``uint64`` lanes (the MC
+    kernel's wide word size).  The pad bytes are zero — phantom worlds
+    in which no coin ever lands heads — and are sliced off when the
+    kernel unpacks its result, so the padding is invisible at the
+    unpacked-bits level whatever lane width operates on the rows.
+    """
+    return ((num_worlds + 63) // 64) * 8
+
+
+def pack_world_bits(raw: "np.ndarray") -> "np.ndarray":
+    """Bit-pack boolean world rows into zero-padded ``uint8`` rows.
+
+    Exactly ``np.packbits(raw, axis=1)`` followed by zero-padding each
+    row to :func:`packed_columns` width.  Both the kernel's private
+    coin draw and :class:`CoinBlock` pack through here, so shared and
+    unshared streams produce identical arrays byte for byte.
+    """
+    packed = np.packbits(raw, axis=1)
+    width = packed_columns(raw.shape[1])
+    if packed.shape[1] == width:
+        return packed
+    padded = np.zeros((packed.shape[0], width), dtype=np.uint8)
+    padded[:, : packed.shape[1]] = packed
+    return padded
 
 
 class CoinBlock:
@@ -70,6 +100,7 @@ class CoinBlock:
         self._lock = threading.Lock()
         self._rng = np.random.default_rng(seed)
         self._chunks: Dict[int, "np.ndarray"] = {}
+        self._chunk_sizes: Dict[int, int] = {}
         self._next_start = 0
         self._bound_version: Optional[int] = None
         self._bound_arcs: Optional[int] = None
@@ -86,9 +117,11 @@ class CoinBlock:
     def coins(self, csr: CSRGraph, start: int, size: int) -> "np.ndarray":
         """Packed coins for worlds ``start .. start+size-1``.
 
-        Returns the ``uint8[num_arcs, ceil(size/8)]`` array the kernel
-        would have produced from its own ``default_rng(seed)`` at the
-        same stream position — drawn on first request, cached after.
+        Returns the ``uint8[num_arcs, packed_columns(size)]`` array the
+        kernel would have produced from its own ``default_rng(seed)``
+        at the same stream position — drawn on first request, cached
+        after.  Rows are zero-padded to uint64-lane width (see
+        :func:`packed_columns`).
         """
         if size <= 0 or start < 0 or start + size > self.num_worlds:
             raise ValueError(
@@ -110,7 +143,11 @@ class CoinBlock:
                 )
             cached = self._chunks.get(start)
             if cached is not None:
-                if cached.shape[1] != (size + 7) // 8:
+                # Compare exact world counts, not padded widths: rows
+                # are padded to uint64-lane multiples, so differently
+                # sized chunks can share a byte width yet desync the
+                # stream.
+                if self._chunk_sizes[start] != size:
                     raise RuntimeError(
                         "misaligned chunk request: consumers of one coin "
                         "block must use the same chunk partition"
@@ -125,14 +162,14 @@ class CoinBlock:
                 )
             # Identical call shape and dtype to the kernel's private
             # draw, so the bits match a per-query rng bit for bit.
-            chunk = np.packbits(
+            chunk = pack_world_bits(
                 self._rng.random(
                     (csr.num_arcs, size), dtype=np.float32
-                ) < csr.rev_probs_f32[:, None],
-                axis=1,
+                ) < csr.rev_probs_f32[:, None]
             )
             chunk.setflags(write=False)
             self._chunks[start] = chunk
+            self._chunk_sizes[start] = size
             self._next_start = start + size
             self.draws += 1
             return chunk

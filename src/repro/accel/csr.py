@@ -91,6 +91,47 @@ class CSRGraph:
         self.rev_probs_f32 = self.rev_probs.astype(np.float32)
         self.rev_probs_f32.setflags(write=False)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: dict,
+        num_nodes: int,
+        num_arcs: int,
+        version: int,
+    ) -> "CSRGraph":
+        """Wrap pre-built CSR arrays (e.g. shared-memory views) without
+        touching a graph object.
+
+        *arrays* maps each array attribute (``indptr`` … ``rev_probs_f32``)
+        to a numpy array; missing ``*_f32`` fields are derived.  The
+        arrays are adopted by reference — zero-copy — and marked
+        read-only, so a shared-memory consumer can never scribble on a
+        segment other processes map.  *version* is the caller's claim
+        about which graph version the arrays snapshot; the shard runtime
+        sets it to the rebuilt graph's version so the snapshot slots
+        straight into the graph's CSR cache.
+        """
+        if np is None:
+            raise RuntimeError("numpy is required to build a CSR snapshot")
+        self = object.__new__(cls)
+        self.num_nodes = num_nodes
+        self.num_arcs = num_arcs
+        self.version = version
+        for field in (
+            "indptr", "indices", "probs",
+            "rev_indptr", "rev_indices", "rev_probs",
+        ):
+            array = arrays[field]
+            array.setflags(write=False)
+            setattr(self, field, array)
+        for field in ("probs_f32", "rev_probs_f32"):
+            array = arrays.get(field)
+            if array is None:
+                array = arrays[field[: -len("_f32")]].astype(np.float32)
+            array.setflags(write=False)
+            setattr(self, field, array)
+        return self
+
     @staticmethod
     def _pack(graph: UncertainGraph, neighbours):
         n = graph.num_nodes

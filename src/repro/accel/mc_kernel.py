@@ -3,17 +3,31 @@
 The pure-Python sampler (:func:`repro.graph.sampling.sample_reachable`)
 walks one world at a time, flipping one coin per arc with Python-level
 dict lookups.  This module advances ``W`` worlds *simultaneously* by
-packing them into the bits of ``uint8`` lanes:
+packing them into the bits of wide integer lanes (``uint64`` by
+default, ``uint8`` selectable for parity testing):
 
 * arc coins for a whole chunk are materialized in one
-  ``Generator.random`` draw and bit-packed into ``coins[m, W/8]``;
+  ``Generator.random`` draw and bit-packed into ``coins[m, W/8]``
+  bytes, zero-padded to a multiple of 8 so every row view-casts to
+  ``uint64`` words;
 * reachability state is ``visited[n, W/8]`` / ``frontier[n, W/8]``
-  bitmaps — one byte carries eight worlds;
+  bitmaps — one 64-bit word carries sixty-four worlds, so each
+  bitwise op touches 8x fewer array elements than the byte lanes the
+  kernel started with (the arrays are the same bytes either way; lane
+  width is purely how numpy strides over them);
 * one BFS step is three vectorized passes: gather
   ``frontier[src_of_each_in_arc] & coins``, OR-reduce the arc rows per
   target node with ``np.bitwise_or.reduceat`` (the arcs are already
   grouped by target in the reverse CSR), and mask out
   already-visited / disallowed targets.
+
+Lane-width contract: AND/OR/NOT are bitwise, so reinterpreting the
+packed bytes as ``uint64`` words changes *nothing* about which bits
+end up set — results are byte-identical at the unpacked-bits level
+across lane widths (``tests/test_backend_parity.py`` pins this for
+every seeded configuration).  The default is ``uint64``; set the
+``REPRO_MC_LANES`` environment variable or pass ``lanes=`` to
+override.
 
 Materializing every coin up front is *exactly* possible-world
 semantics — lazy per-arc flipping is justified in the paper precisely
@@ -31,6 +45,7 @@ counts and per-world reached-set sizes are accumulated across chunks.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Optional, Sequence, Set, Union
 
 try:  # pragma: no cover - exercised implicitly by every import
@@ -40,9 +55,30 @@ except ImportError:  # pragma: no cover - numpy is a hard dep in practice
 
 from ..graph.uncertain import UncertainGraph
 from ..resilience.faultinject import fault_point
+from .coins import pack_world_bits, packed_columns
 from .csr import CSRGraph, csr_snapshot
 
-__all__ = ["BatchReachResult", "sample_reach_batch"]
+__all__ = ["BatchReachResult", "sample_reach_batch", "resolve_lanes"]
+
+#: Valid lane widths: how many world bits one numpy element carries.
+_LANES = ("uint8", "uint64")
+
+
+def resolve_lanes(lanes: Optional[str]) -> str:
+    """Resolve a ``lanes=`` argument to a concrete lane width.
+
+    ``None`` reads the ``REPRO_MC_LANES`` environment variable and
+    falls back to ``uint64``.  Lane width never changes results (see
+    the module docstring); ``uint8`` exists for parity tests and as an
+    escape hatch.
+    """
+    if lanes is None:
+        lanes = os.environ.get("REPRO_MC_LANES", "uint64")
+    if lanes not in _LANES:
+        raise ValueError(
+            f"unknown lane width {lanes!r}; expected one of {_LANES}"
+        )
+    return lanes
 
 #: Upper bound on (worlds per chunk) x num_arcs: the chunk's float32
 #: uniform draw is ``4 * m * W`` bytes, so 16M slots caps the transient
@@ -108,8 +144,17 @@ class _ArcPlan:
     ) -> None:
         in_degrees = csr.rev_indptr[1:] - csr.rev_indptr[:-1]
         targets = np.repeat(np.arange(csr.num_nodes), in_degrees)
-        if allowed_mask is None:
-            #: ``None`` means "use coin rows as-is" (no subset copy).
+        keep = None
+        if allowed_mask is not None:
+            keep = allowed_mask[targets]
+            keep &= allowed_mask[csr.rev_indices]
+        if allowed_mask is None or bool(keep.all()):
+            # No restriction, or one that keeps every arc (the loose-
+            # filter regime: the candidate pool covers the graph).  An
+            # identity subset would fancy-index-copy the whole coin
+            # matrix every chunk for nothing, so use the rows as-is;
+            # disallowed isolated nodes are handled by the caller's
+            # post-step mask, which is the documented equivalence.
             self.arc_rows: Optional["np.ndarray"] = None
             has_in = in_degrees > 0
             self.predecessors = csr.rev_indices
@@ -120,8 +165,6 @@ class _ArcPlan:
             self.segment_starts = np.asarray(csr.rev_indptr[:-1][has_in])
             self.has_in = has_in
             return
-        keep = allowed_mask[targets]
-        keep &= allowed_mask[csr.rev_indices]
         arc_rows = np.nonzero(keep)[0]
         self.arc_rows = arc_rows
         self.predecessors = csr.rev_indices[arc_rows]
@@ -149,20 +192,27 @@ def _simulate_chunk(
     plan: Optional[_ArcPlan] = None,
     coin_source=None,
     world_start: int = 0,
+    lanes: str = "uint64",
 ) -> "np.ndarray":
     """Advance *num_worlds* worlds to fixpoint; returns visited[W, n].
 
-    Worlds live in the bit lanes of ``uint8`` rows: byte column ``b`` of
-    node row ``v`` holds worlds ``8b .. 8b+7``, so every bitwise op below
-    advances eight worlds at once.  Trailing pad bits in the last byte
-    are phantom worlds whose coins pack to 0 (``np.packbits`` zero-pads),
-    so nothing propagates in them and they are sliced off at the end.
+    Worlds live in the bit lanes of integer rows: with ``uint64`` lanes
+    word column ``b`` of node row ``v`` holds worlds ``64b .. 64b+63``,
+    so every bitwise op below advances sixty-four worlds at once (eight
+    with ``uint8`` lanes; the backing bytes are identical, only the
+    element stride differs).  Trailing pad bits are phantom worlds
+    whose coins pack to 0 (:func:`pack_world_bits` zero-pads), so
+    nothing propagates in them and they are sliced off at the end.
     """
     n = csr.num_nodes
-    num_bytes = (num_worlds + 7) // 8
+    num_bytes = packed_columns(num_worlds)
+    lane_dtype = np.uint64 if lanes == "uint64" else np.uint8
     visited = np.zeros((n, num_bytes), dtype=np.uint8)
     if source_idx.size:
         visited[source_idx] = 0xFF
+    # The lane view shares `visited`'s bytes: writes through it land in
+    # the uint8 array the final unpack reads.
+    visited_l = visited.view(lane_dtype)
     if source_idx.size and csr.num_arcs and (
         max_hops is None or max_hops > 0
     ):
@@ -175,18 +225,18 @@ def _simulate_chunk(
         if coin_source is not None:
             coins = coin_source.coins(csr, world_start, num_worlds)
         else:
-            coins = np.packbits(
+            coins = pack_world_bits(
                 rng.random(
                     (csr.num_arcs, num_worlds), dtype=np.float32
-                ) < csr.rev_probs_f32[:, None],
-                axis=1,
+                ) < csr.rev_probs_f32[:, None]
             )
         if plan is None:
             plan = _ArcPlan(csr, allowed_mask)
         if plan.arc_rows is not None:
             coins = coins[plan.arc_rows]
-        frontier = visited.copy()
-        new = np.empty_like(visited)
+        coins = coins.view(lane_dtype)
+        frontier = visited_l.copy()
+        new = np.empty_like(frontier)
         num_plan_arcs = plan.predecessors.size
         depth = 0
         while True:
@@ -218,12 +268,12 @@ def _simulate_chunk(
                     new[plan.has_in] = np.bitwise_or.reduceat(
                         candidate, plan.segment_starts, axis=0
                     )
-            new &= ~visited
+            new &= ~visited_l
             if plan.arc_rows is None and allowed_mask is not None:
                 new[~allowed_mask] = 0
             if not new.any():
                 break
-            visited |= new
+            visited_l |= new
             frontier = new
             depth += 1
     # Unpack (n, num_bytes) -> (n, W) bits, drop phantom pad worlds,
@@ -241,6 +291,7 @@ def sample_reach_batch(
     max_hops: Optional[int] = None,
     coin_source=None,
     world_offset: int = 0,
+    lanes: Optional[str] = None,
 ) -> BatchReachResult:
     """Sample *num_worlds* possible worlds in vectorized batches.
 
@@ -267,11 +318,16 @@ def sample_reach_batch(
     world_offset:
         Index of this call's first world within the coin source's
         stream (continuation calls pass their accumulated world count).
+    lanes:
+        Lane width for the packed world bitmaps: ``"uint64"`` (default)
+        or ``"uint8"``.  Never changes results — see the module
+        docstring; ``None`` resolves via :func:`resolve_lanes`.
     """
     if np is None:
         raise RuntimeError("numpy is required for the batched MC kernel")
     if num_worlds <= 0:
         raise ValueError(f"num_worlds must be positive, got {num_worlds}")
+    lanes = resolve_lanes(lanes)
     csr = graph if isinstance(graph, CSRGraph) else csr_snapshot(graph)
     n = csr.num_nodes
 
@@ -307,7 +363,7 @@ def sample_reach_batch(
         visited = _simulate_chunk(
             csr, source_idx, size, rng, allowed_mask, max_hops,
             plan=plan, coin_source=coin_source,
-            world_start=world_offset + done,
+            world_start=world_offset + done, lanes=lanes,
         )
         counts += visited.sum(axis=0, dtype=np.int64)
         world_sizes[done:done + size] = visited.sum(axis=1, dtype=np.int64)

@@ -196,6 +196,19 @@ def build_parser() -> argparse.ArgumentParser:
                        default="process",
                        help="run shard engines in worker processes or "
                        "inline (debugging)")
+    serve.add_argument("--shard-transport", choices=("shm", "pickle"),
+                       default="shm",
+                       help="how shard subgraphs reach their workers: "
+                       "shared-memory CSR segments (zero-copy) or "
+                       "pickled arc lists")
+    serve.add_argument("--frontend", choices=("aio", "thread"),
+                       default="aio",
+                       help="asyncio gateway (default) or the legacy "
+                       "thread-per-connection server")
+    serve.add_argument("--max-connections", type=int, default=None,
+                       help="aio frontend connection cap; beyond it "
+                       "clients get 503 + Retry-After (default: "
+                       "8 x --max-in-flight)")
 
     bench_serve = commands.add_parser(
         "bench-serve",
@@ -231,6 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "K ways (ignored with --url)")
     bench_serve.add_argument("--shard-mode", choices=("process", "inline"),
                              default="process")
+    bench_serve.add_argument("--shard-transport", choices=("shm", "pickle"),
+                             default="shm",
+                             help="shard payload transport for the "
+                             "in-process service (ignored with --url)")
 
     detect = commands.add_parser(
         "detect",
@@ -546,14 +563,23 @@ def _build_service(args: argparse.Namespace):
         enable_batching=not getattr(args, "no_batching", False),
         shards=getattr(args, "shards", None),
         shard_mode=getattr(args, "shard_mode", "process"),
+        shard_transport=getattr(args, "shard_transport", "shm"),
     )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .service.http_api import ServiceHTTPServer
-
     service = _build_service(args)
-    server = ServiceHTTPServer(service, host=args.host, port=args.port)
+    if getattr(args, "frontend", "aio") == "thread":
+        from .service.http_api import ServiceHTTPServer
+
+        server = ServiceHTTPServer(service, host=args.host, port=args.port)
+    else:
+        from .service.aio_gateway import AioGateway
+
+        server = AioGateway(
+            service, host=args.host, port=args.port,
+            max_connections=getattr(args, "max_connections", None),
+        ).start()
     host, port = server.address
     engine = service.engine
     shards = getattr(engine, "num_shards", None)
@@ -561,7 +587,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"serving {engine.graph.num_nodes} nodes / "
         f"{engine.graph.num_arcs} arcs on http://{host}:{port} "
-        f"({service.workers} workers{shard_note})",
+        f"({service.workers} workers{shard_note}, "
+        f"{getattr(args, 'frontend', 'aio')} frontend)",
         flush=True,
     )
     server.serve_forever()

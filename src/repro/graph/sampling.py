@@ -196,11 +196,13 @@ class ReachabilityFrequencyEstimator:
         max_hops: Optional[int] = None,
         backend: str = "auto",
         coin_source=None,
+        lanes=None,
     ) -> None:
         self._graph = graph
         self._sources = list(sources)
         self._allowed = allowed
         self._max_hops = max_hops
+        self._lanes = lanes
         effective_nodes = (
             graph.num_nodes
             if allowed is None
@@ -251,6 +253,7 @@ class ReachabilityFrequencyEstimator:
                     max_hops=self._max_hops,
                     coin_source=self._coin_source,
                     world_offset=self._num_worlds,
+                    lanes=self._lanes,
                 )
             except Exception as exc:
                 if self._requested_backend != "auto":

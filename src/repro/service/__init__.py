@@ -19,8 +19,13 @@ frontend.
   load-shedding into degraded answers);
 * :mod:`repro.service.server` — :class:`ReliabilityService`, the
   facade tying the above together;
-* :mod:`repro.service.http_api` — ``repro serve``'s
-  ``http.server``-based JSON frontend.
+* :mod:`repro.service.wire` — the JSON wire protocol both HTTP
+  frontends share (request parsing, result serialization);
+* :mod:`repro.service.http_api` — the legacy thread-per-connection
+  ``http.server`` JSON frontend;
+* :mod:`repro.service.aio_gateway` — :class:`AioGateway`, the asyncio
+  frontend ``repro serve`` uses by default (thousands of connections,
+  explicit backpressure, streamed ``/batch`` responses).
 
 Import note: this package's ``__init__`` is deliberately lazy (PEP
 562).  Core modules (engine, verification, the accel kernel) import
@@ -41,6 +46,7 @@ __all__ = [
     "set_registry",
     "ReliabilityService",
     "ServiceHTTPServer",
+    "AioGateway",
     "AdmissionPolicy",
     "WorkerPool",
     "WorldBatcher",
@@ -51,6 +57,7 @@ __all__ = [
 _LAZY = {
     "ReliabilityService": ("server", "ReliabilityService"),
     "ServiceHTTPServer": ("http_api", "ServiceHTTPServer"),
+    "AioGateway": ("aio_gateway", "AioGateway"),
     "AdmissionPolicy": ("pool", "AdmissionPolicy"),
     "WorkerPool": ("pool", "WorkerPool"),
     "WorldBatcher": ("batcher", "WorldBatcher"),

@@ -1,0 +1,521 @@
+"""Asyncio HTTP gateway: thousands of connections, one worker pool.
+
+The legacy frontend (:mod:`repro.service.http_api`) spends a thread per
+connection — fine for tens of clients, hopeless for the north star's
+concurrent-user counts.  :class:`AioGateway` serves the same JSON
+protocol (one spec, :mod:`repro.service.wire`) from a single event
+loop: connections are coroutines, queries bridge to the
+:class:`~repro.service.server.ReliabilityService` worker pool through
+``asyncio.wrap_future`` (the pool's ``concurrent.futures.Future``
+resolves on a worker thread and wakes the loop), and the loop thread
+itself never blocks on query work.
+
+Endpoints
+---------
+* ``POST /query`` — identical to the legacy frontend.
+* ``POST /batch`` — body ``{"queries": [<query body>, ...]}``; every
+  query is submitted up front (so they share admission, dedup, and
+  world batching like any concurrent burst) and results **stream** back
+  in request order as chunked newline-delimited JSON, each line the
+  same wire object a ``/query`` reply carries (or
+  ``{"error": ...}`` for an individually malformed entry).  A client
+  can consume the first answers while later ones still compute.
+* ``GET /metrics`` / ``GET /healthz`` — identical to the legacy
+  frontend.
+
+Backpressure
+------------
+Two explicit layers, nothing implicit:
+
+* **Connection cap** — at most ``max_connections`` sockets are served;
+  beyond that the gateway answers ``503`` with a ``Retry-After``
+  header and closes.  The default cap is derived from the service's
+  :class:`~repro.service.pool.AdmissionPolicy` (``8 x max_in_flight``):
+  past that point queued queries would only be shed anyway, so holding
+  the socket open would convert overload into latency instead of an
+  actionable signal.
+* **Admission shedding** — queries beyond ``max_in_flight`` still get
+  a well-formed 200 with ``degraded: true`` and a ``Retry-After``
+  header (same contract as the legacy frontend): the request was
+  valid, the service chose not to spend compute on it.
+
+Keep-alive: HTTP/1.1 persistent connections, honouring
+``Connection: close``.  Bodies are read by ``Content-Length`` and
+always fully drained — even on 404 — so a desynchronized exchange is
+impossible by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from .server import ReliabilityService
+from .wire import (
+    BadRequest,
+    _decode_object,
+    parse_query_body,
+    parse_query_object,
+    result_to_json,
+)
+
+__all__ = ["AioGateway"]
+
+#: Hard ceiling on accepted header bytes; a request line + headers
+#: larger than this is a 431 and the connection closes.
+_MAX_HEADER_BYTES = 32 * 1024
+
+#: Hard ceiling on a request body (16 MiB covers any sane batch).
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Seconds a client is told to back off when the connection cap trips.
+_RETRY_AFTER_SECONDS = 1.0
+
+
+class _HTTPError(Exception):
+    """An error that maps to a complete HTTP error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class AioGateway:
+    """A :class:`ReliabilityService` behind an asyncio HTTP server.
+
+    Interface-compatible with
+    :class:`~repro.service.http_api.ServiceHTTPServer`: ``start`` /
+    ``stop`` / ``serve_forever`` / ``address`` / ``url`` behave the
+    same, so the CLI and tests swap frontends with one flag.  The event
+    loop runs on a dedicated daemon thread; ``start`` returns once the
+    socket is bound.
+
+    Parameters
+    ----------
+    service:
+        The service to expose.  The gateway starts and stops it.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port.
+    max_connections:
+        Concurrent-connection cap; ``None`` derives
+        ``8 * service.admission.max_in_flight``.
+    """
+
+    def __init__(
+        self,
+        service: ReliabilityService,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        max_connections: Optional[int] = None,
+    ) -> None:
+        if max_connections is not None and max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        self._service = service
+        self._host = host
+        self._port = port
+        self.max_connections = (
+            max_connections
+            if max_connections is not None
+            else 8 * service.admission.max_in_flight
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._address: Optional[Tuple[str, int]] = None
+        self._connections = 0
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> ReliabilityService:
+        return self._service
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (resolved even for ``port=0``)."""
+        if self._address is None:
+            raise RuntimeError("gateway is not started")
+        return self._address
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def open_connections(self) -> int:
+        return self._connections
+
+    def start(self) -> "AioGateway":
+        """Bind the socket and serve from a background daemon thread."""
+        if self._thread is not None:
+            return self
+        self._service.start()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-aio-gateway", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._address is None:
+            raise RuntimeError("asyncio gateway failed to bind")
+        return self
+
+    def serve_forever(self) -> None:
+        """Run until interrupted (the CLI path)."""
+        self.start()
+        try:
+            self._thread.join()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Stop accepting, close open connections, stop the service."""
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            self._stopping = True
+            try:
+                loop.call_soon_threadsafe(self._shutdown_event.set)
+            except RuntimeError:  # pragma: no cover - loop just closed
+                pass
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)
+        self._thread = None
+        self._loop = None
+        self._service.stop()
+
+    def __enter__(self) -> "AioGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self._shutdown_event = asyncio.Event()
+        try:
+            loop.run_until_complete(self._serve())
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+
+    async def _serve(self) -> None:
+        server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        self._server = server
+        sockname = server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+        self._started.set()
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if self._connections >= self.max_connections or self._stopping:
+            # Over the cap: refuse with an actionable signal instead of
+            # queueing the socket into invisible latency.
+            await self._write_response(
+                writer, 503,
+                {"error": "connection limit reached"},
+                keep_alive=False,
+                retry_after=_RETRY_AFTER_SECONDS,
+            )
+            writer.close()
+            return
+        self._connections += 1
+        try:
+            await self._connection_loop(reader, writer)
+        except (
+            ConnectionError, asyncio.IncompleteReadError, TimeoutError
+        ):
+            pass  # client went away mid-exchange; nothing to salvage
+        finally:
+            self._connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _connection_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while not self._stopping:
+            try:
+                head = await reader.readuntil(b"\r\n\r\n")
+            except asyncio.IncompleteReadError:
+                return  # clean close between requests
+            except asyncio.LimitOverrunError:
+                await self._write_response(
+                    writer, 431, {"error": "headers too large"},
+                    keep_alive=False,
+                )
+                return
+            if len(head) > _MAX_HEADER_BYTES:
+                await self._write_response(
+                    writer, 431, {"error": "headers too large"},
+                    keep_alive=False,
+                )
+                return
+            try:
+                method, path, headers = _parse_head(head)
+            except _HTTPError as error:
+                await self._write_response(
+                    writer, error.status, {"error": str(error)},
+                    keep_alive=False,
+                )
+                return
+            try:
+                length = int(headers.get("content-length", "0"))
+            except ValueError:
+                length = 0
+            if length > _MAX_BODY_BYTES:
+                await self._write_response(
+                    writer, 413, {"error": "request body too large"},
+                    keep_alive=False,
+                )
+                return
+            # Drain the body unconditionally (even for a 404) so the
+            # next request on this connection starts at a clean byte.
+            body = await reader.readexactly(length) if length else b""
+            keep_alive = (
+                headers.get("connection", "keep-alive").lower() != "close"
+            )
+            done = await self._dispatch(
+                writer, method, path, body, keep_alive
+            )
+            if not keep_alive or done:
+                return
+
+    async def _dispatch(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: bytes,
+        keep_alive: bool,
+    ) -> bool:
+        """Route one request; returns True if the connection must close."""
+        if method == "GET" and path == "/healthz":
+            engine = self._service.engine
+            health = {
+                "status": "ok",
+                "nodes": engine.graph.num_nodes,
+                "arcs": engine.graph.num_arcs,
+                "workers": self._service.workers,
+                "frontend": "aio",
+            }
+            shards = getattr(engine, "num_shards", None)
+            if shards is not None:
+                health["shards"] = shards
+            await self._write_response(
+                writer, 200, health, keep_alive=keep_alive
+            )
+            return False
+        if method == "GET" and path == "/metrics":
+            await self._write_response(
+                writer, 200, self._service.metrics_snapshot(),
+                keep_alive=keep_alive,
+            )
+            return False
+        if method == "POST" and path == "/query":
+            status, payload, retry_after = await self._run_query(body)
+            await self._write_response(
+                writer, status, payload,
+                keep_alive=keep_alive, retry_after=retry_after,
+            )
+            return False
+        if method == "POST" and path == "/batch":
+            return await self._run_batch(writer, body, keep_alive)
+        await self._write_response(
+            writer, 404, {"error": f"unknown path {path!r}"},
+            keep_alive=keep_alive,
+        )
+        return False
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    async def _run_query(
+        self, body: bytes
+    ) -> Tuple[int, Dict[str, object], Optional[float]]:
+        try:
+            sources, eta, kwargs, budget = parse_query_body(body)
+        except BadRequest as error:
+            return 400, {"error": str(error)}, None
+        try:
+            future = self._service.submit(
+                sources, eta, budget=budget, **kwargs
+            )
+        except (ReproError, TypeError, ValueError) as error:
+            return 400, {"error": f"{type(error).__name__}: {error}"}, None
+        try:
+            result = await asyncio.wrap_future(future)
+        except (ReproError, TypeError, ValueError) as error:
+            return 400, {"error": f"{type(error).__name__}: {error}"}, None
+        except Exception as error:  # noqa: BLE001 - 500 beats a torn pipe
+            return (
+                500,
+                {"error": f"internal error: {type(error).__name__}"},
+                None,
+            )
+        shed = result.degraded and (
+            result.degraded_reason or ""
+        ).startswith("shed:")
+        return (
+            200,
+            result_to_json(result),
+            _RETRY_AFTER_SECONDS if shed else None,
+        )
+
+    async def _run_batch(
+        self,
+        writer: asyncio.StreamWriter,
+        body: bytes,
+        keep_alive: bool,
+    ) -> bool:
+        """``POST /batch``: submit all queries, stream results in order.
+
+        Submitting everything before awaiting anything is what lets the
+        service's cross-query machinery (dedup, world batching,
+        admission) see the whole burst at once — exactly as if the
+        client had opened N connections, minus the N sockets.
+        """
+        try:
+            envelope = _decode_object(body)
+            queries = envelope.get("queries")
+            if not isinstance(queries, list):
+                raise BadRequest(
+                    "bad request: 'queries' must be a JSON array"
+                )
+        except BadRequest as error:
+            await self._write_response(
+                writer, 400, {"error": str(error)}, keep_alive=keep_alive
+            )
+            return False
+        futures: List[object] = []
+        for query in queries:
+            try:
+                sources, eta, kwargs, budget = parse_query_object(query)
+                futures.append(
+                    self._service.submit(sources, eta, budget=budget, **kwargs)
+                )
+            except (BadRequest, ReproError, TypeError, ValueError) as error:
+                futures.append(error)
+
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            + (b"" if keep_alive else b"Connection: close\r\n")
+            + b"\r\n"
+        )
+        for item in futures:
+            if isinstance(item, Exception):
+                line = {"error": f"{type(item).__name__}: {item}"}
+            else:
+                try:
+                    result = await asyncio.wrap_future(item)
+                    line = result_to_json(result)
+                except Exception as error:  # noqa: BLE001 - per-line error
+                    line = {"error": f"{type(error).__name__}: {error}"}
+            chunk = json.dumps(line).encode("utf-8") + b"\n"
+            writer.write(
+                f"{len(chunk):x}\r\n".encode("ascii") + chunk + b"\r\n"
+            )
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return False
+
+    # ------------------------------------------------------------------
+    # Response writing
+    # ------------------------------------------------------------------
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        keep_alive: bool = True,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = _REASONS.get(status, "OK")
+        head = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+        ]
+        if retry_after is not None:
+            head.append(f"Retry-After: {retry_after:g}")
+        if not keep_alive:
+            head.append("Connection: close")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+        )
+        await writer.drain()
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _parse_head(
+    head: bytes,
+) -> Tuple[str, str, Dict[str, str]]:
+    """Split request line + headers; raises :class:`_HTTPError` on junk."""
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as error:  # pragma: no cover - latin-1 total
+        raise _HTTPError(400, f"undecodable request head: {error}")
+    lines = text.split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise _HTTPError(400, f"malformed request line {lines[0]!r}")
+    method, path, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise _HTTPError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return method, path, headers

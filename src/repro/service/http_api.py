@@ -27,54 +27,11 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
-from ..core.engine import QueryResult
 from ..errors import ReproError
-from ..resilience.budget import QueryBudget
 from .server import ReliabilityService
+from .wire import BadRequest, parse_query_body, result_to_json
 
 __all__ = ["ServiceHTTPServer", "result_to_json"]
-
-#: Request fields forwarded verbatim to :meth:`ReliabilityService.submit`.
-_QUERY_FIELDS = (
-    "method", "num_samples", "seed", "multi_source_mode", "max_hops",
-    "backend",
-)
-
-
-def result_to_json(result: QueryResult) -> Dict[str, object]:
-    """The wire form of a :class:`QueryResult` (JSON-able dict)."""
-    return {
-        "nodes": sorted(result.nodes),
-        "eta": result.eta,
-        "sources": list(result.sources),
-        "method": result.method,
-        "num_candidates": len(result.candidate_result.candidates),
-        "candidate_seconds": result.candidate_seconds,
-        "verification_seconds": result.verification_seconds,
-        "height_ratio": result.height_ratio,
-        "candidate_ratio": result.candidate_ratio,
-        "statuses": {str(n): s for n, s in sorted(result.statuses.items())},
-        "degraded": result.degraded,
-        "degraded_reason": result.degraded_reason,
-        "worlds_used": result.worlds_used,
-        "achieved_confidence": result.achieved_confidence,
-        "backend_fallbacks": result.backend_fallbacks,
-    }
-
-
-def _parse_budget(body: Dict[str, object]) -> Optional[QueryBudget]:
-    deadline_ms = body.get("deadline_ms")
-    max_worlds = body.get("max_worlds")
-    max_candidate_nodes = body.get("max_candidate_nodes")
-    if deadline_ms is None and max_worlds is None and max_candidate_nodes is None:
-        return None
-    return QueryBudget(
-        deadline_seconds=(
-            None if deadline_ms is None else float(deadline_ms) / 1000.0
-        ),
-        max_worlds=max_worlds,
-        max_candidate_nodes=max_candidate_nodes,
-    )
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -93,11 +50,23 @@ class _Handler(BaseHTTPRequestHandler):
         # would swamp the CLI's own output.
         pass
 
-    def _reply(self, status: int, payload: Dict[str, object]) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        retry_after: Optional[float] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
+        if self.headers.get("Connection", "").lower() == "close":
+            # http.server closes the socket on request, but without
+            # advertising it the client cannot know the connection is
+            # done until the FIN races its next request.
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -121,29 +90,42 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        # ALWAYS drain the request body first, whatever the path: with
+        # keep-alive, an unread body would be parsed as the next
+        # request line, desynchronizing every later exchange on the
+        # connection.
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        raw = self.rfile.read(length) if length > 0 else b""
         if self.path != "/query":
             self._reply(404, {"error": f"unknown path {self.path!r}"})
             return
         try:
-            length = int(self.headers.get("Content-Length", "0"))
-            body = json.loads(self.rfile.read(length) or b"{}")
-            if not isinstance(body, dict):
-                raise ValueError("request body must be a JSON object")
-            sources = body["sources"]
-            eta = float(body["eta"])
-            kwargs = {
-                field: body[field] for field in _QUERY_FIELDS if field in body
-            }
-            budget = _parse_budget(body)
-        except (KeyError, TypeError, ValueError) as error:
-            self._reply(400, {"error": f"bad request: {error}"})
+            sources, eta, kwargs, budget = parse_query_body(raw)
+        except BadRequest as error:
+            self._reply(400, {"error": str(error)})
             return
         try:
             result = self._service.query(sources, eta, budget=budget, **kwargs)
         except (ReproError, TypeError, ValueError) as error:
             self._reply(400, {"error": f"{type(error).__name__}: {error}"})
             return
-        self._reply(200, result_to_json(result))
+        except Exception as error:  # noqa: BLE001 - a 500 beats a
+            # torn connection: without this the handler thread dies
+            # mid-exchange and the client sees a protocol error.
+            self._reply(
+                500, {"error": f"internal error: {type(error).__name__}"}
+            )
+            return
+        shed = result.degraded and (result.degraded_reason or "").startswith(
+            "shed:"
+        )
+        self._reply(
+            200, result_to_json(result),
+            retry_after=1.0 if shed else None,
+        )
 
 
 class ServiceHTTPServer:

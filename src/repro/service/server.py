@@ -131,6 +131,10 @@ class ReliabilityService:
         :meth:`ShardedRQTreeEngine.build` when *shards* is set.
     shard_seed:
         Root seed for the shard plan and per-shard index builds.
+    shard_transport:
+        ``"shm"`` (default) or ``"pickle"``; forwarded to
+        :meth:`ShardedRQTreeEngine.build` when *shards* is set.  See
+        :mod:`repro.shard.shm` for the shared-memory data plane.
     """
 
     def __init__(
@@ -146,6 +150,7 @@ class ReliabilityService:
         shards: Optional[int] = None,
         shard_mode: str = "process",
         shard_seed: int = 0,
+        shard_transport: str = "shm",
     ) -> None:
         if isinstance(engine, CachingRQTreeEngine):
             self._engine_cache_stats = engine.stats
@@ -165,6 +170,7 @@ class ReliabilityService:
                 seed=shard_seed,
                 mode=shard_mode,
                 flow_engine=getattr(engine, "flow_engine", "dinic"),
+                transport=shard_transport,
             )
             self._owned_sharded = engine
         self._engine = engine
@@ -188,6 +194,12 @@ class ReliabilityService:
     @property
     def cache(self) -> TTLResultCache:
         return self._cache
+
+    @property
+    def admission(self) -> AdmissionPolicy:
+        """The service's load-shedding limits (read-only by convention);
+        frontends derive their connection caps from it."""
+        return self._admission
 
     @property
     def workers(self) -> int:
@@ -379,8 +391,11 @@ class ReliabilityService:
             if error is not None:
                 future.set_exception(error)
             else:
-                future.set_result(result)
+                # Count BEFORE resolving: a client whose future fires can
+                # read /metrics immediately, and the snapshot must
+                # already include its own completion.
                 metrics.counter("service.completed").inc()
+                future.set_result(result)
 
     def _shed_result(self, request: QueryRequest, reason: str) -> QueryResult:
         """A degraded empty answer for a request the service refused.
@@ -446,6 +461,9 @@ class ReliabilityService:
         if shards is not None:
             service["shards"] = shards
             service["shard_mode"] = self._engine.mode
+            service["shard_transport"] = getattr(
+                self._engine, "transport", "pickle"
+            )
         if self._engine_cache_stats is not None:
             service["engine_cache"] = self._engine_cache_stats.as_dict()
         snapshot["service"] = service

@@ -1,0 +1,112 @@
+"""Wire-format helpers shared by every HTTP frontend.
+
+Both frontends — the legacy threaded :mod:`repro.service.http_api` and
+the asyncio :mod:`repro.service.aio_gateway` — speak the same JSON
+protocol.  This module is the single definition of that protocol:
+request-body parsing (query fields, budget fields) and response
+serialization live here so the two servers cannot drift, and the
+conformance suite (``tests/test_http_conformance.py``) can hold both to
+one spec.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+from ..core.engine import QueryResult
+from ..resilience.budget import QueryBudget
+
+__all__ = [
+    "BadRequest",
+    "parse_query_body",
+    "result_to_json",
+]
+
+#: Request fields forwarded verbatim to :meth:`ReliabilityService.submit`.
+_QUERY_FIELDS = (
+    "method", "num_samples", "seed", "multi_source_mode", "max_hops",
+    "backend",
+)
+
+
+class BadRequest(ValueError):
+    """A malformed request body; maps to HTTP 400."""
+
+
+def result_to_json(result: QueryResult) -> Dict[str, object]:
+    """The wire form of a :class:`QueryResult` (JSON-able dict)."""
+    return {
+        "nodes": sorted(result.nodes),
+        "eta": result.eta,
+        "sources": list(result.sources),
+        "method": result.method,
+        "num_candidates": len(result.candidate_result.candidates),
+        "candidate_seconds": result.candidate_seconds,
+        "verification_seconds": result.verification_seconds,
+        "height_ratio": result.height_ratio,
+        "candidate_ratio": result.candidate_ratio,
+        "statuses": {str(n): s for n, s in sorted(result.statuses.items())},
+        "degraded": result.degraded,
+        "degraded_reason": result.degraded_reason,
+        "worlds_used": result.worlds_used,
+        "achieved_confidence": result.achieved_confidence,
+        "backend_fallbacks": result.backend_fallbacks,
+    }
+
+
+def _parse_budget(body: Dict[str, object]) -> Optional[QueryBudget]:
+    deadline_ms = body.get("deadline_ms")
+    max_worlds = body.get("max_worlds")
+    max_candidate_nodes = body.get("max_candidate_nodes")
+    if deadline_ms is None and max_worlds is None and max_candidate_nodes is None:
+        return None
+    return QueryBudget(
+        deadline_seconds=(
+            None if deadline_ms is None else float(deadline_ms) / 1000.0
+        ),
+        max_worlds=max_worlds,
+        max_candidate_nodes=max_candidate_nodes,
+    )
+
+
+def parse_query_body(
+    raw: bytes,
+) -> Tuple[object, float, Dict[str, object], Optional[QueryBudget]]:
+    """Decode one ``POST /query`` body.
+
+    Returns ``(sources, eta, submit_kwargs, budget)``; raises
+    :class:`BadRequest` (with a caller-safe message) for anything
+    malformed.  Parsing and validation errors are deliberately
+    indistinguishable from the caller's perspective — both are a 400.
+    """
+    return parse_query_object(_decode_object(raw))
+
+
+def parse_query_object(
+    body: Dict[str, object],
+) -> Tuple[object, float, Dict[str, object], Optional[QueryBudget]]:
+    """The dict-level half of :func:`parse_query_body` (used by the
+    batch endpoint, where many query objects share one JSON body)."""
+    try:
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        sources = body["sources"]
+        eta = float(body["eta"])
+        kwargs = {
+            field: body[field] for field in _QUERY_FIELDS if field in body
+        }
+        budget = _parse_budget(body)
+    except (KeyError, TypeError, ValueError) as error:
+        raise BadRequest(f"bad request: {error}") from error
+    return sources, eta, kwargs, budget
+
+
+def _decode_object(raw: bytes) -> Dict[str, object]:
+    try:
+        body = json.loads(raw or b"{}")
+    except ValueError as error:
+        raise BadRequest(f"bad request: {error}") from error
+    if not isinstance(body, dict):
+        raise BadRequest("bad request: request body must be a JSON object")
+    return body

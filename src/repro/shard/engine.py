@@ -138,6 +138,8 @@ class ShardedRQTreeEngine:
         flow_engine: str = "dinic",
         mc_refine_floor: float = 0.5,
         shard_timeout_seconds: Optional[float] = None,
+        transport: str = "pickle",
+        segments: Optional[Sequence[str]] = None,
     ) -> None:
         if plan.num_nodes != graph.num_nodes:
             raise ValueError(
@@ -154,7 +156,9 @@ class ShardedRQTreeEngine:
         self.flow_engine = flow_engine
         self.mc_refine_floor = mc_refine_floor
         self.shard_timeout_seconds = shard_timeout_seconds
+        self.transport = transport
         self._clients = list(clients)
+        self._segments = list(segments or [])
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -173,25 +177,50 @@ class ShardedRQTreeEngine:
         mc_refine_floor: float = 0.5,
         shard_timeout_seconds: Optional[float] = None,
         start_timeout: float = 300.0,
+        transport: str = "shm",
     ) -> "ShardedRQTreeEngine":
-        """Plan the partition, then build one engine per shard."""
+        """Plan the partition, then build one engine per shard.
+
+        ``transport`` picks how shard subgraphs reach their workers:
+        ``"shm"`` (default) publishes each shard's CSR snapshot into a
+        shared-memory segment mapped zero-copy by the worker;
+        ``"pickle"`` ships a pickled arc list.  Both produce
+        bit-identical answers; shm is the data plane, pickle the
+        portable fallback (and is substituted automatically where
+        shared memory is unavailable).
+        """
         if mode not in ("process", "inline"):
             raise ValueError(
                 f"unknown shard mode {mode!r}; expected 'process' or 'inline'"
             )
+        if transport not in ("pickle", "shm"):
+            raise ValueError(
+                f"unknown shard transport {transport!r}; "
+                "expected 'pickle' or 'shm'"
+            )
+        from . import shm as shm_module
+
+        if transport == "shm" and not shm_module.shm_available():
+            cls._registry().counter("shard.shm_unavailable").inc()
+            transport = "pickle"
         plan = build_shard_plan(
             graph, shards, seed=seed,
             max_imbalance=max_imbalance, strategy=strategy,
         )
-        payloads = [
-            build_shard_payload(
-                graph, plan, shard_id, seed=seed, flow_engine=flow_engine,
-                max_imbalance=max_imbalance, strategy=strategy,
-            )
-            for shard_id in range(plan.num_shards)
-        ]
+        payloads: List[Dict[str, object]] = []
         clients: List[object] = []
+        segments: List[str] = []
         try:
+            for shard_id in range(plan.num_shards):
+                payload = build_shard_payload(
+                    graph, plan, shard_id, seed=seed,
+                    flow_engine=flow_engine,
+                    max_imbalance=max_imbalance, strategy=strategy,
+                    transport=transport,
+                )
+                if "shm" in payload:
+                    segments.append(payload["shm"]["name"])
+                payloads.append(payload)
             if mode == "process":
                 # Start every worker before waiting on any: the K index
                 # builds overlap instead of serializing.
@@ -206,12 +235,16 @@ class ShardedRQTreeEngine:
                     client.close()
                 except Exception:  # pragma: no cover - best effort
                     pass
+            for name in segments:
+                shm_module.registry.release(name)
             raise
         return cls(
             graph, plan, clients, mode,
             flow_engine=flow_engine,
             mc_refine_floor=mc_refine_floor,
             shard_timeout_seconds=shard_timeout_seconds,
+            transport=transport,
+            segments=segments,
         )
 
     @property
@@ -227,12 +260,21 @@ class ShardedRQTreeEngine:
         )
 
     def close(self) -> None:
-        """Shut down every shard worker (idempotent)."""
+        """Shut down every shard worker and release the engine's
+        shared-memory segments (idempotent)."""
         if self._closed:
             return
         self._closed = True
         for client in self._clients:
             client.close()
+        if self._segments:
+            from . import shm as shm_module
+
+            # Release after the workers have exited: the creator's
+            # release unlinks, and the attach side only ever closes.
+            for name in self._segments:
+                shm_module.registry.release(name)
+            self._segments = []
 
     def __enter__(self) -> "ShardedRQTreeEngine":
         return self

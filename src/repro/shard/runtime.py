@@ -24,6 +24,13 @@ verification method the gateway query asked for:
 Everything in the payload and the request/response dicts is plain
 picklable data (ints, floats, strings, lists, dicts) — the spawn-based
 worker transport requires it, and it keeps the protocol inspectable.
+With ``transport="shm"`` the graph bytes leave the payload entirely:
+the shard subgraph travels as a shared-memory CSR segment
+(:mod:`repro.shard.shm`) and the payload shrinks to scalars plus the
+segment's field table.  Both transports rebuild the identical local
+graph — same arc insertion order, hence the same adjacency-dict
+iteration order and the same deterministic RQ-tree — so answers are
+bit-for-bit equal across transports by construction.
 """
 
 from __future__ import annotations
@@ -49,33 +56,55 @@ def build_shard_payload(
     flow_engine: str = "dinic",
     max_imbalance: float = 0.1,
     strategy: str = "multilevel",
+    transport: str = "pickle",
 ) -> Dict[str, object]:
     """The picklable construction recipe for one shard's runtime.
 
-    Contains the shard's induced subgraph as a relabelled arc list plus
-    everything needed to rebuild its RQ-tree deterministically.  The
-    per-shard build seed is derived under the ``"shard.build"``
-    namespace, so distinct shards (and distinct root seeds) get
-    statistically independent index-construction streams.
+    Contains the shard's induced subgraph — as a relabelled arc list
+    (``transport="pickle"``) or as the attach-meta of a shared-memory
+    CSR segment (``transport="shm"``, see :mod:`repro.shard.shm`; the
+    caller owns the published segment and must release it through
+    ``shm.registry``) — plus everything needed to rebuild its RQ-tree
+    deterministically.  The per-shard build seed is derived under the
+    ``"shard.build"`` namespace, so distinct shards (and distinct root
+    seeds) get statistically independent index-construction streams.
     """
+    if transport not in ("pickle", "shm"):
+        raise ValueError(
+            f"unknown shard transport {transport!r}; "
+            "expected 'pickle' or 'shm'"
+        )
     members = plan.shard_nodes[shard_id]
     local_of = {node: index for index, node in enumerate(members)}
     member_set = set(members)
-    arcs: List[List[object]] = []
-    for u in members:
-        for v, p in graph.successors(u).items():
-            if v in member_set:
-                arcs.append([local_of[u], local_of[v], p])
-    return {
+    payload: Dict[str, object] = {
         "shard_id": shard_id,
         "num_nodes": len(members),
-        "arcs": arcs,
-        "global_ids": list(members),
+        "transport": transport,
         "build_seed": derive_seed(seed, "shard.build", shard_id),
         "flow_engine": flow_engine,
         "max_imbalance": max_imbalance,
         "strategy": strategy,
     }
+    if transport == "shm":
+        from ..accel.csr import csr_snapshot
+        from . import shm
+
+        local = UncertainGraph(len(members))
+        for u in members:
+            for v, p in graph.successors(u).items():
+                if v in member_set:
+                    local.add_arc(local_of[u], local_of[v], p)
+        payload["shm"] = shm.publish_csr(csr_snapshot(local), members)
+        return payload
+    arcs: List[List[object]] = []
+    for u in members:
+        for v, p in graph.successors(u).items():
+            if v in member_set:
+                arcs.append([local_of[u], local_of[v], p])
+    payload["arcs"] = arcs
+    payload["global_ids"] = list(members)
+    return payload
 
 
 class ShardRuntime:
@@ -83,13 +112,16 @@ class ShardRuntime:
 
     def __init__(self, payload: Dict[str, object]) -> None:
         self.shard_id: int = payload["shard_id"]
-        self._global_ids: List[int] = list(payload["global_ids"])
+        if payload.get("transport", "pickle") == "shm":
+            graph, self._global_ids = self._from_segment(payload["shm"])
+        else:
+            self._global_ids = list(payload["global_ids"])
+            graph = UncertainGraph(payload["num_nodes"])
+            for u, v, p in payload["arcs"]:
+                graph.add_arc(u, v, p)
         self._local_of = {
             node: index for index, node in enumerate(self._global_ids)
         }
-        graph = UncertainGraph(payload["num_nodes"])
-        for u, v, p in payload["arcs"]:
-            graph.add_arc(u, v, p)
         self._engine = RQTreeEngine.build(
             graph,
             max_imbalance=payload["max_imbalance"],
@@ -97,6 +129,38 @@ class ShardRuntime:
             strategy=payload["strategy"],
             flow_engine=payload["flow_engine"],
         )
+
+    @staticmethod
+    def _from_segment(meta: Dict[str, object]):
+        """Rebuild the local graph from a shared-memory CSR segment.
+
+        Arcs are replayed from the forward CSR in row order — the same
+        order the pickle transport's arc list was emitted in — so the
+        rebuilt adjacency dicts iterate identically and the RQ-tree
+        build is bit-for-bit the same.  The mapped (zero-copy) arrays
+        are then installed as the graph's CSR cache, so any numeric
+        kernel run in this worker reads the segment directly instead of
+        re-packing.
+        """
+        from ..accel.csr import CSRGraph
+        from . import shm
+
+        arrays, global_ids = shm.attach_csr(meta)
+        num_nodes = meta["num_nodes"]
+        graph = UncertainGraph(num_nodes)
+        indptr, indices, probs = (
+            arrays["indptr"], arrays["indices"], arrays["probs"],
+        )
+        for u in range(num_nodes):
+            for k in range(indptr[u], indptr[u + 1]):
+                graph.add_arc(u, int(indices[k]), float(probs[k]))
+        graph._csr_cache = CSRGraph.from_arrays(
+            arrays,
+            num_nodes=num_nodes,
+            num_arcs=meta["num_arcs"],
+            version=graph.version,
+        )
+        return graph, [int(node) for node in global_ids]
 
     @property
     def engine(self) -> RQTreeEngine:
@@ -117,7 +181,7 @@ class ShardRuntime:
         shard), ``eta``, ``multi_source_mode``, ``max_hops``, and an
         optional serialized budget (the gateway's remaining allowance at
         send time).  The response carries the candidate/confirmed sets
-        and statuses lifted back to global ids, plus the
+        lifted back to global ids, plus the
         instrumentation the gateway merges into its
         :class:`CandidateResult`.
         """
@@ -144,10 +208,9 @@ class ShardRuntime:
                 lift[node] for node in candidate_result.candidates
             ],
             "kept": [lift[node] for node in result.nodes],
-            "statuses": {
-                lift[node]: status
-                for node, status in result.statuses.items()
-            },
+            # Note: no per-node status map — the gateway recomputes
+            # statuses during refinement, so shipping them would only
+            # bloat the per-query response.
             "seconds": time.perf_counter() - started,
             "candidate_seconds": result.candidate_seconds,
             "verification_seconds": result.verification_seconds,

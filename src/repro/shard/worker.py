@@ -36,6 +36,7 @@ import time
 from typing import Dict, Optional, Tuple
 
 from ..errors import ShardUnavailableError
+from . import shm
 from .runtime import ShardRuntime
 
 __all__ = [
@@ -56,24 +57,45 @@ def shard_worker_main(
     imports this module in the child to find it).  All exceptions are
     reported over the response queue rather than raised — a worker that
     dies silently would stall the gateway.
+
+    The receive loop polls with a short timeout and exits when the
+    parent process is gone.  This matters for shared-memory hygiene: a
+    ``SIGKILL``-ed gateway never runs its unlink hooks, and the
+    resource tracker it shares with its workers only reaps leaked
+    segments once *every* process holding the tracker pipe has exited
+    — daemon children orphaned by a hard kill would otherwise pin
+    ``/dev/shm`` entries forever (see :mod:`repro.shard.shm`).
     """
+    parent = multiprocessing.parent_process()
     try:
         runtime = ShardRuntime(payload)
     except BaseException as error:  # noqa: BLE001 - reported to parent
         responses.put(("fatal", -1, f"{type(error).__name__}: {error}"))
+        shm.detach_all()
         return
     responses.put(("ready", -1, runtime.tree_height))
-    while True:
-        message = requests.get()
-        if message[0] == "stop":
-            return
-        _, request_id, request = message
-        try:
-            responses.put(("result", request_id, runtime.handle(request)))
-        except BaseException as error:  # noqa: BLE001 - reported to parent
-            responses.put(
-                ("error", request_id, f"{type(error).__name__}: {error}")
-            )
+    try:
+        while True:
+            try:
+                message = requests.get(timeout=1.0)
+            except queue_module.Empty:
+                if parent is not None and not parent.is_alive():
+                    return  # orphaned: release the tracker pipe
+                continue
+            if message[0] == "stop":
+                return
+            _, request_id, request = message
+            try:
+                responses.put(
+                    ("result", request_id, runtime.handle(request))
+                )
+            except BaseException as error:  # noqa: BLE001 - to parent
+                responses.put(
+                    ("error", request_id, f"{type(error).__name__}: {error}")
+                )
+    finally:
+        runtime = None  # drop CSR views before closing their segment
+        shm.detach_all()
 
 
 class _PendingCall:
@@ -278,7 +300,7 @@ class InlineShardClient:
     def __init__(self, payload: Dict[str, object]) -> None:
         self.shard_id: int = payload["shard_id"]
         self.num_nodes: int = payload["num_nodes"]
-        self._runtime = ShardRuntime(payload)
+        self._runtime: Optional[ShardRuntime] = ShardRuntime(payload)
         self.tree_height = self._runtime.tree_height
 
     def wait_ready(self, timeout: float = 300.0) -> None:
@@ -287,6 +309,8 @@ class InlineShardClient:
     def submit(
         self, request: Dict[str, object]
     ) -> Tuple[str, object]:
+        if self._runtime is None:
+            return ("error", "ShardUnavailableError: client closed")
         try:
             return ("result", self._runtime.handle(request))
         except Exception as error:  # noqa: BLE001 - same surface as process
@@ -303,4 +327,6 @@ class InlineShardClient:
         return value  # type: ignore[return-value]
 
     def close(self, join_timeout: float = 5.0) -> None:
-        pass
+        # Drop the runtime so any shared-memory CSR views it holds die
+        # before the engine releases (and unlinks) their segment.
+        self._runtime = None

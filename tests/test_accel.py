@@ -221,12 +221,19 @@ def test_coin_block_bits_match_private_draw():
     block = CoinBlock(seed=11, num_worlds=24)
     shared = block.coins(csr, 0, 24)
     rng = np.random.default_rng(11)
-    private = np.packbits(
+    raw = (
         rng.random((csr.num_arcs, 24), dtype=np.float32)
-        < csr.rev_probs_f32[:, None],
-        axis=1,
+        < csr.rev_probs_f32[:, None]
     )
-    assert np.array_equal(shared, private)
+    # Identical to a private draw bit for bit: the packed bytes match
+    # np.packbits exactly and the pad columns (zero-filled to uint64
+    # lane width) carry no coins.
+    private = np.packbits(raw, axis=1)
+    assert np.array_equal(shared[:, : private.shape[1]], private)
+    assert not shared[:, private.shape[1]:].any()
+    from repro.accel.coins import pack_world_bits
+
+    assert np.array_equal(shared, pack_world_bits(raw))
     assert block.draws == 1
     # Second consumer reuses the cached chunk verbatim.
     assert block.coins(csr, 0, 24) is shared

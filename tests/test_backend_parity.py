@@ -237,6 +237,56 @@ def test_expected_spread_backend(fig1_graph, backend):
     assert abs(spread - exact) < 0.15
 
 
+# ----------------------------------------------------------------------
+# uint8 vs uint64 lane-width parity: byte-identical, not just statistical
+# ----------------------------------------------------------------------
+#: Every seeded numpy-backend config exercised above, replayed at both
+#: lane widths.  Lane width only changes the word size the kernel ORs
+#: with — the coin bits and chunk partition are identical — so the
+#: frequencies must match *exactly*, unlike the cross-backend checks.
+LANE_PARITY_CONFIGS = [
+    ("fig1", dict(seed=123), 400),
+    ("fig1", dict(seed=7), K_EXACT),
+    ("path", dict(seed=21), K_EXACT),
+    ("fig1", dict(seed=33), K_EXACT),  # multi-source, see sources below
+    ("fig1", dict(seed=5, max_hops=2), K_EXACT),
+    ("fig1", dict(seed=13), K_EXACT),  # allowed-set, see below
+    ("er1", dict(seed=77), 4000),
+    ("er2", dict(seed=77), 4000),
+]
+
+
+@pytest.mark.parametrize("graph_key,kwargs,worlds", LANE_PARITY_CONFIGS)
+def test_lane_widths_bit_identical(fig1_graph, graph_key, kwargs, worlds):
+    if graph_key == "fig1":
+        graph = fig1_graph
+    elif graph_key == "path":
+        graph = uncertain_path([0.9, 0.8, 0.7, 0.6])
+    else:
+        graph = uncertain_gnp(250, 3.0 / 250, seed=int(graph_key[-1]))
+    sources = [0, 2] if kwargs["seed"] == 33 else [0]
+    if kwargs["seed"] == 13:
+        kwargs = dict(kwargs, allowed=set(range(graph.num_nodes)) - {4})
+    freqs = {
+        lanes: ReachabilityFrequencyEstimator(
+            graph, sources, backend="numpy", lanes=lanes, **kwargs
+        ).run(worlds).frequencies()
+        for lanes in ("uint8", "uint64")
+    }
+    assert freqs["uint8"] == freqs["uint64"]
+
+
+def test_lanes_env_override(fig1_graph, monkeypatch):
+    from repro.accel.mc_kernel import resolve_lanes
+
+    assert resolve_lanes(None) == "uint64"
+    monkeypatch.setenv("REPRO_MC_LANES", "uint8")
+    assert resolve_lanes(None) == "uint8"
+    assert resolve_lanes("uint64") == "uint64"
+    with pytest.raises(ValueError, match="lane width"):
+        resolve_lanes("uint32")
+
+
 def test_auto_backend_matches_threshold(fig1_graph, medium_graph):
     small = ReachabilityFrequencyEstimator(fig1_graph, [0], backend="auto")
     assert small.backend == "python"

@@ -1,0 +1,348 @@
+"""One HTTP spec, two frontends.
+
+While the legacy thread-per-connection server and the asyncio gateway
+coexist, every protocol behaviour is asserted against *both* through
+one parameterized suite: status codes on every error path, keep-alive
+correctness (including the historical unread-body desync after a 404),
+shed semantics, and bit-identical answers.  Gateway-only behaviour
+(connection cap, ``/batch`` streaming) is tested separately at the
+bottom.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.service.server import ReliabilityService
+
+FRONTENDS = ("thread", "aio")
+
+
+def _make_server(frontend, service, **kwargs):
+    if frontend == "thread":
+        from repro.service.http_api import ServiceHTTPServer
+
+        return ServiceHTTPServer(service, host="127.0.0.1", port=0)
+    from repro.service.aio_gateway import AioGateway
+
+    return AioGateway(service, host="127.0.0.1", port=0, **kwargs)
+
+
+@pytest.fixture(params=FRONTENDS)
+def server(request, medium_engine):
+    service = ReliabilityService(medium_engine, workers=2)
+    with _make_server(request.param, service) as srv:
+        yield srv
+
+
+def _connect(server) -> http.client.HTTPConnection:
+    host, port = server.address
+    return http.client.HTTPConnection(host, port, timeout=60)
+
+
+def _post(conn, path, body_obj=None, raw=None):
+    body = raw if raw is not None else json.dumps(body_obj).encode()
+    conn.request(
+        "POST", path, body=body,
+        headers={"Content-Type": "application/json"},
+    )
+    response = conn.getresponse()
+    return response, response.read()
+
+
+# ----------------------------------------------------------------------
+# Happy path + parity
+# ----------------------------------------------------------------------
+def test_query_matches_direct_engine(server, medium_engine):
+    conn = _connect(server)
+    try:
+        response, payload = _post(conn, "/query", {
+            "sources": [3], "eta": 0.5, "method": "mc",
+            "num_samples": 200, "seed": 4,
+        })
+        assert response.status == 200
+        reply = json.loads(payload)
+        expected = medium_engine.query(
+            [3], 0.5, method="mc", num_samples=200, seed=4
+        )
+        assert reply["nodes"] == sorted(expected.nodes)
+        assert reply["degraded"] is False
+    finally:
+        conn.close()
+
+
+def test_healthz_and_metrics(server):
+    conn = _connect(server)
+    try:
+        conn.request("GET", "/healthz")
+        response = conn.getresponse()
+        health = json.loads(response.read())
+        assert response.status == 200
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        snapshot = json.loads(response.read())
+        assert response.status == 200
+        assert "service" in snapshot
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Error paths: every failure mode has a status code, never a torn pipe
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("raw", [
+    b"not json",
+    b'{"eta": 0.5}',                      # missing sources
+    b'{"sources": [3], "eta": "high"}',   # unparsable eta
+    b"[1, 2, 3]",                         # non-object body
+])
+def test_malformed_bodies_are_400(server, raw):
+    conn = _connect(server)
+    try:
+        response, payload = _post(conn, "/query", raw=raw)
+        assert response.status == 400
+        assert "error" in json.loads(payload)
+    finally:
+        conn.close()
+
+
+def test_invalid_parameters_are_400(server):
+    conn = _connect(server)
+    try:
+        # Valid JSON, invalid query: eta out of range raises a
+        # ReproError inside the engine, which must surface as a 400.
+        response, payload = _post(conn, "/query", {
+            "sources": [3], "eta": 1.5,
+        })
+        assert response.status == 400
+        assert "error" in json.loads(payload)
+    finally:
+        conn.close()
+
+
+def test_unknown_paths_are_404(server):
+    conn = _connect(server)
+    try:
+        conn.request("GET", "/nope")
+        response = conn.getresponse()
+        assert response.status == 404
+        response.read()
+        response, _ = _post(conn, "/definitely/not", {"x": 1})
+        assert response.status == 404
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Keep-alive: the regression suite for the unread-body desync
+# ----------------------------------------------------------------------
+def test_keep_alive_reuses_connection(server):
+    conn = _connect(server)
+    try:
+        for source in (1, 2, 3):
+            response, payload = _post(conn, "/query", {
+                "sources": [source], "eta": 0.5,
+            })
+            assert response.status == 200
+            assert json.loads(payload)["sources"] == [source]
+    finally:
+        conn.close()
+
+
+def test_keep_alive_survives_404_with_body(server):
+    """A POST with a body to an unknown path must drain the body.
+
+    Historical bug: the threaded server wrote its 404 without reading
+    the request body, so the next request on the same connection was
+    parsed starting at the stale body bytes and every later exchange
+    desynchronized.
+    """
+    conn = _connect(server)
+    try:
+        response, _ = _post(
+            conn, "/nope", {"sources": [1], "eta": 0.5, "pad": "x" * 256}
+        )
+        assert response.status == 404
+        # The connection must still speak clean HTTP:
+        response, payload = _post(conn, "/query", {
+            "sources": [2], "eta": 0.5,
+        })
+        assert response.status == 200
+        assert json.loads(payload)["sources"] == [2]
+    finally:
+        conn.close()
+
+
+def test_keep_alive_survives_400_with_body(server):
+    conn = _connect(server)
+    try:
+        response, _ = _post(conn, "/query", raw=b'{"bad": ' + b"x" * 512)
+        assert response.status == 400
+        response, payload = _post(conn, "/query", {
+            "sources": [0], "eta": 0.5,
+        })
+        assert response.status == 200
+        assert json.loads(payload)["sources"] == [0]
+    finally:
+        conn.close()
+
+
+def test_connection_close_honoured(server):
+    conn = _connect(server)
+    try:
+        conn.request(
+            "POST", "/query",
+            body=json.dumps({"sources": [1], "eta": 0.5}).encode(),
+            headers={
+                "Content-Type": "application/json",
+                "Connection": "close",
+            },
+        )
+        response = conn.getresponse()
+        assert response.status == 200
+        response.read()
+        assert response.will_close
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Shedding stays a well-formed 200 with an actionable header
+# ----------------------------------------------------------------------
+def test_shed_query_is_degraded_200_with_retry_after(server):
+    service = server.service
+    # Deterministically trip the in-flight limit: the counter is what
+    # admission checks, and holding it full avoids a timing-dependent
+    # blocker query.
+    with service._lock:
+        service._in_flight += service.admission.max_in_flight
+    try:
+        conn = _connect(server)
+        try:
+            response, payload = _post(conn, "/query", {
+                "sources": [1], "eta": 0.5,
+            })
+            assert response.status == 200
+            reply = json.loads(payload)
+            assert reply["degraded"] is True
+            assert reply["degraded_reason"].startswith("shed:")
+            assert response.getheader("Retry-After") is not None
+        finally:
+            conn.close()
+    finally:
+        with service._lock:
+            service._in_flight -= service.admission.max_in_flight
+
+
+# ----------------------------------------------------------------------
+# Cross-frontend parity: byte-identical answers
+# ----------------------------------------------------------------------
+def test_frontends_agree_bit_for_bit(medium_engine):
+    replies = {}
+    for frontend in FRONTENDS:
+        service = ReliabilityService(medium_engine, workers=2)
+        with _make_server(frontend, service) as srv:
+            conn = _connect(srv)
+            try:
+                _, payload = _post(conn, "/query", {
+                    "sources": [5], "eta": 0.4, "method": "mc",
+                    "num_samples": 300, "seed": 11,
+                })
+                reply = json.loads(payload)
+                # Wall-clock instrumentation legitimately differs.
+                reply.pop("candidate_seconds")
+                reply.pop("verification_seconds")
+                replies[frontend] = reply
+            finally:
+                conn.close()
+    assert replies["thread"] == replies["aio"]
+
+
+# ----------------------------------------------------------------------
+# Gateway-only behaviour
+# ----------------------------------------------------------------------
+def test_gateway_connection_cap_503(medium_engine):
+    service = ReliabilityService(medium_engine, workers=1)
+    with _make_server("aio", service, max_connections=2) as srv:
+        host, port = srv.address
+        held = [http.client.HTTPConnection(host, port, timeout=30)
+                for _ in range(2)]
+        try:
+            # Make both connections real (accepted, counted, kept alive).
+            for conn in held:
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()
+            overflow = http.client.HTTPConnection(host, port, timeout=30)
+            overflow.request("GET", "/healthz")
+            response = overflow.getresponse()
+            assert response.status == 503
+            assert response.getheader("Retry-After") is not None
+            overflow.close()
+        finally:
+            for conn in held:
+                conn.close()
+
+
+def test_gateway_batch_streams_in_order(medium_engine):
+    service = ReliabilityService(medium_engine, workers=2)
+    with _make_server("aio", service) as srv:
+        conn = _connect(srv)
+        try:
+            queries = [{"sources": [i], "eta": 0.5} for i in range(5)]
+            queries.insert(2, {"eta": 0.5})  # malformed: missing sources
+            response, payload = _post(conn, "/batch", {"queries": queries})
+            assert response.status == 200
+            assert response.getheader("Content-Type") == (
+                "application/x-ndjson"
+            )
+            lines = [json.loads(line)
+                     for line in payload.decode().strip().split("\n")]
+            assert len(lines) == 6
+            assert "error" in lines[2]
+            expected = [q["sources"] for q in queries if "sources" in q]
+            got = [line["sources"] for line in lines if "sources" in line]
+            assert got == expected
+            # The connection is still usable after a chunked response.
+            response, payload = _post(conn, "/query", {
+                "sources": [1], "eta": 0.5,
+            })
+            assert response.status == 200
+        finally:
+            conn.close()
+
+
+def test_gateway_batch_rejects_non_array(medium_engine):
+    service = ReliabilityService(medium_engine, workers=1)
+    with _make_server("aio", service) as srv:
+        conn = _connect(srv)
+        try:
+            response, payload = _post(conn, "/batch", {"queries": "nope"})
+            assert response.status == 400
+        finally:
+            conn.close()
+
+
+def test_gateway_many_concurrent_connections(medium_engine):
+    """Hundreds of sockets held open at once — far beyond what a
+    thread-per-connection frontend would tolerate comfortably."""
+    service = ReliabilityService(medium_engine, workers=2)
+    with _make_server("aio", service) as srv:
+        host, port = srv.address
+        conns = [http.client.HTTPConnection(host, port, timeout=60)
+                 for _ in range(200)]
+        try:
+            for conn in conns:
+                conn.request("GET", "/healthz")
+            statuses = {conn.getresponse().status for conn in conns}
+            assert statuses == {200}
+        finally:
+            for conn in conns:
+                conn.close()
