@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Chaos harness for the self-healing shard fabric.
+
+Runs two storm phases against a supervised ``ShardedRQTreeEngine`` and
+exits nonzero on any hang, wrong answer, or shared-memory leak — the
+three failure modes a recovery layer can hide:
+
+1. **Process kill storm.**  A process-mode engine (shm transport)
+   answers a query stream while round-robin SIGKILLs take out shard
+   workers mid-flight.  Every ``lb`` answer must equal the plain
+   single-engine answer node-for-node (exactness through failures is
+   the fabric's core contract), the fabric must end all-healthy, and
+   the ``/dev/shm`` segment census must be unchanged afterwards.
+
+2. **Inline FaultPlan storm.**  An inline engine runs the same stream
+   under a seeded fault schedule that fails respawns, half-open
+   probes, redispatches, and hedge promotions inside the supervisor
+   itself — the recovery machinery recovering from its own failures.
+
+A watchdog alarm bounds the whole run: a hang is an exit, not a stuck
+CI job.
+
+Exit codes: 0 ok, 1 wrong answer, 2 shm leak, 3 hang / unhealthy end
+state.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+WATCHDOG_SECONDS = 540
+
+KILL_STORM_QUERIES = 60
+KILL_EVERY = 6
+FAULT_STORM_QUERIES = 40
+SHARDS = 3
+ETA_SCHEDULE = (0.2, 0.3, 0.4, 0.5)
+
+
+def _alarm(signum, frame):  # pragma: no cover - only fires on a hang
+    print("CHAOS FAIL: watchdog expired — the fabric hung", file=sys.stderr)
+    os._exit(3)
+
+
+def _shm_census():
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return None
+    return sorted(p.name for p in shm_dir.glob("psm_*"))
+
+
+def _expected_answers(graph, seed):
+    from repro.core.engine import RQTreeEngine
+
+    with_plain = RQTreeEngine.build(graph, seed=seed)
+    expected = []
+    for index in range(max(KILL_STORM_QUERIES, FAULT_STORM_QUERIES)):
+        source = index % graph.num_nodes
+        eta = ETA_SCHEDULE[index % len(ETA_SCHEDULE)]
+        result = with_plain.query(source, eta=eta, method="lb")
+        expected.append(tuple(sorted(result.nodes)))
+    return expected
+
+
+def _check_answer(phase, index, result, expected):
+    got = tuple(sorted(result.nodes))
+    if got != expected:
+        print(
+            f"CHAOS FAIL [{phase}] query {index}: answer mismatch "
+            f"(degraded={result.degraded!r}, "
+            f"reason={result.degraded_reason!r})",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+
+
+def _wait_all_healthy(engine, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        states = engine.shard_states()
+        if all(s["state"] == "healthy" for s in states.values()):
+            return
+        time.sleep(0.02)
+    print(
+        f"CHAOS FAIL: fabric did not return to healthy: "
+        f"{engine.shard_states()!r}",
+        file=sys.stderr,
+    )
+    sys.exit(3)
+
+
+def kill_storm(graph, expected):
+    from repro.shard import ShardedRQTreeEngine, SupervisorPolicy
+
+    policy = SupervisorPolicy(
+        ping_interval_seconds=0.02, backoff_base_seconds=0.01,
+    )
+    kills = 0
+    with ShardedRQTreeEngine.build(
+        graph, shards=SHARDS, seed=3, mode="process", transport="shm",
+        supervise=True, supervisor_policy=policy,
+    ) as engine:
+        for index in range(KILL_STORM_QUERIES):
+            if index % KILL_EVERY == KILL_EVERY // 2:
+                victim = (index // KILL_EVERY) % SHARDS
+                pid = engine.supervisor.client(victim)._process.pid
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                    kills += 1
+                except ProcessLookupError:
+                    pass
+            source = index % graph.num_nodes
+            eta = ETA_SCHEDULE[index % len(ETA_SCHEDULE)]
+            result = engine.query(source, eta=eta, method="lb")
+            _check_answer("kill-storm", index, result, expected[index])
+        _wait_all_healthy(engine)
+        respawns = sum(
+            s["respawns"] for s in engine.shard_states().values()
+        )
+    print(f"kill storm: {KILL_STORM_QUERIES} queries, {kills} SIGKILLs, "
+          f"{respawns} respawns, all answers exact, fabric healthy")
+
+
+def fault_storm(graph, expected):
+    from repro.resilience import FaultPlan
+    from repro.shard import ShardedRQTreeEngine, SupervisorPolicy
+
+    policy = SupervisorPolicy(
+        ping_interval_seconds=0.02, backoff_base_seconds=0.01,
+        max_respawns=10_000,  # the storm must not park anyone
+    )
+    points = (
+        "supervisor.respawn", "supervisor.probe",
+        "supervisor.redispatch", "supervisor.hedge",
+        "shard.handle",
+    )
+    with ShardedRQTreeEngine.build(
+        graph, shards=SHARDS, seed=3, mode="inline",
+        supervise=True, supervisor_policy=policy,
+    ) as engine:
+        with FaultPlan.seeded(17, points, probability=0.3) as plan:
+            for index in range(FAULT_STORM_QUERIES):
+                if index % 5 == 2:
+                    # Kill an inline worker so the supervisor actually
+                    # has to respawn/redispatch under the fault plan.
+                    victim = (index // 5) % SHARDS
+                    engine.supervisor.client(victim).close()
+                source = index % graph.num_nodes
+                eta = ETA_SCHEDULE[index % len(ETA_SCHEDULE)]
+                result = engine.query(source, eta=eta, method="lb")
+                _check_answer("fault-storm", index, result, expected[index])
+            hits = {name: plan.hits(name) for name in points}
+        _wait_all_healthy(engine)
+    exercised = sum(hits.values())
+    if exercised == 0:
+        print(
+            "CHAOS FAIL: fault storm exercised no supervisor injection "
+            "points — the storm is not reaching the recovery machinery",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"fault storm: {FAULT_STORM_QUERIES} queries under seeded "
+          f"supervisor faults (hits: {hits}), all answers exact")
+
+
+def main() -> int:
+    signal.signal(signal.SIGALRM, _alarm)
+    signal.alarm(WATCHDOG_SECONDS)
+
+    from repro.graph.generators import uncertain_gnp
+
+    graph = uncertain_gnp(150, 0.04, seed=9)
+    expected = _expected_answers(graph, seed=3)
+
+    before = _shm_census()
+    kill_storm(graph, expected)
+    fault_storm(graph, expected)
+    after = _shm_census()
+
+    if before is not None and before != after:
+        leaked = sorted(set(after) - set(before))
+        print(f"CHAOS FAIL: shared-memory leak: {leaked}", file=sys.stderr)
+        return 2
+
+    signal.alarm(0)
+    print("chaos: all phases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,7 @@ from .errors import (
     InjectedFault,
     BackendUnavailableError,
     ShardUnavailableError,
+    WorkerPoolRestartError,
 )
 from .resilience import (
     QueryBudget,
@@ -115,6 +116,7 @@ __all__ = [
     "InjectedFault",
     "BackendUnavailableError",
     "ShardUnavailableError",
+    "WorkerPoolRestartError",
     # resilience
     "QueryBudget",
     "BudgetClock",

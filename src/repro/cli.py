@@ -201,6 +201,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="how shard subgraphs reach their workers: "
                        "shared-memory CSR segments (zero-copy) or "
                        "pickled arc lists")
+    serve.add_argument("--shard-respawn", action="store_true",
+                       help="supervise shard workers: liveness pings, "
+                       "respawn on crash, per-shard circuit breakers, "
+                       "redispatch of in-flight requests")
+    serve.add_argument("--shard-retry-timeout-ms", type=float,
+                       default=None,
+                       help="per-shard attempt timeout; a sub-query "
+                       "over it gets its worker recycled and one "
+                       "redispatch (needs --shard-respawn)")
+    serve.add_argument("--hedge-after-ms", type=float, default=None,
+                       help="duplicate a slow sub-query to a standby "
+                       "worker after this delay, first answer wins; "
+                       "0 derives the delay from the shard's p99 "
+                       "(needs --shard-respawn)")
     serve.add_argument("--frontend", choices=("aio", "thread"),
                        default="aio",
                        help="asyncio gateway (default) or the legacy "
@@ -248,6 +262,17 @@ def build_parser() -> argparse.ArgumentParser:
                              default="shm",
                              help="shard payload transport for the "
                              "in-process service (ignored with --url)")
+    bench_serve.add_argument("--shard-respawn", action="store_true",
+                             help="supervise the in-process service's "
+                             "shard workers (ignored with --url)")
+    bench_serve.add_argument("--shard-retry-timeout-ms", type=float,
+                             default=None,
+                             help="per-shard attempt timeout for the "
+                             "in-process service (needs --shard-respawn)")
+    bench_serve.add_argument("--hedge-after-ms", type=float, default=None,
+                             help="hedged-dispatch delay for the "
+                             "in-process service; 0 = p99-derived "
+                             "(needs --shard-respawn)")
 
     detect = commands.add_parser(
         "detect",
@@ -564,6 +589,9 @@ def _build_service(args: argparse.Namespace):
         shards=getattr(args, "shards", None),
         shard_mode=getattr(args, "shard_mode", "process"),
         shard_transport=getattr(args, "shard_transport", "shm"),
+        shard_respawn=getattr(args, "shard_respawn", False),
+        shard_retry_timeout_ms=getattr(args, "shard_retry_timeout_ms", None),
+        shard_hedge_after_ms=getattr(args, "hedge_after_ms", None),
     )
 
 

@@ -93,6 +93,12 @@ class QueryResult:
     #: kernel failure (see the fallback ladder in :mod:`repro.accel`).
     backend_fallbacks: int = 0
 
+    #: Shards whose answer for *this query* arrived only after the
+    #: supervisor respawned the worker holding it (sharded engine with
+    #: supervision only; see :mod:`repro.shard.supervisor`).  Non-zero
+    #: means the query survived a worker crash without degrading.
+    shards_recovered: int = 0
+
     @property
     def unverified(self) -> Set[int]:
         """Candidates the budget ran out on (empty when not degraded)."""

@@ -145,10 +145,37 @@ class ShardUnavailableError(ReproError):
     — the same never-raise contract budgets follow.
     """
 
-    def __init__(self, shard_id: int, reason: str) -> None:
+    def __init__(
+        self, shard_id: int, reason: str, worker_dead: bool = False
+    ) -> None:
         self.shard_id = shard_id
         self.reason = reason
+        #: True when the transport lost the worker itself (process died,
+        #: client torn down) rather than the worker answering with an
+        #: error.  The supervisor only respawns on dead-worker failures;
+        #: application errors propagate without cycling a healthy worker.
+        self.worker_dead = worker_dead
         super().__init__(f"shard {shard_id} unavailable: {reason}")
+
+
+class WorkerPoolRestartError(ReproError, RuntimeError):
+    """A stopped :class:`~repro.service.pool.WorkerPool` was re-started.
+
+    Pools are single-shot by design: ``stop()`` poisons the queue and
+    joins the threads, and none of that is reversible on the same
+    object.  Restart semantics live one layer up — a supervisor (or the
+    owning :class:`~repro.service.server.ReliabilityService`) replaces
+    the pool with a freshly-constructed one instead of reviving it, the
+    same replace-don't-revive rule the shard supervisor applies to
+    worker processes.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            "worker pool cannot be restarted once stopped: construct a "
+            "new WorkerPool (supervised restart replaces the pool, it "
+            "does not revive it)"
+        )
 
 
 class BackendUnavailableError(ReproError, ValueError):

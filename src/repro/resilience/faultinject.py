@@ -53,6 +53,14 @@ INJECTION_POINTS = frozenset(
         # sub-query (plans are process-global, so this only reaches
         # inline-mode shards — see repro.shard.worker).
         "shard.handle",
+        # repro.shard.supervisor.ShardSupervisor: the recovery
+        # transitions of the per-shard state machine.  All four run in
+        # the *gateway* process (monitor thread or waiting query
+        # thread), so plans reach them in both shard modes.
+        "supervisor.respawn",     # fails a respawn attempt (backoff/park)
+        "supervisor.probe",       # fails the half-open probe (re-open)
+        "supervisor.hedge",       # fails a hedged-lane promotion
+        "supervisor.redispatch",  # fails an in-flight redispatch
     }
 )
 

@@ -51,6 +51,7 @@ __all__ = [
     "WorkerPool",
     "WorldBatcher",
     "TTLResultCache",
+    "retry_after_seconds",
 ]
 
 #: Lazily resolved attribute -> (module, name) map (PEP 562).
@@ -62,6 +63,7 @@ _LAZY = {
     "WorkerPool": ("pool", "WorkerPool"),
     "WorldBatcher": ("batcher", "WorldBatcher"),
     "TTLResultCache": ("cache", "TTLResultCache"),
+    "retry_after_seconds": ("wire", "retry_after_seconds"),
 }
 
 

@@ -60,6 +60,7 @@ from .wire import (
     parse_query_body,
     parse_query_object,
     result_to_json,
+    retry_after_seconds,
 )
 
 __all__ = ["AioGateway"]
@@ -70,9 +71,6 @@ _MAX_HEADER_BYTES = 32 * 1024
 
 #: Hard ceiling on a request body (16 MiB covers any sane batch).
 _MAX_BODY_BYTES = 16 * 1024 * 1024
-
-#: Seconds a client is told to back off when the connection cap trips.
-_RETRY_AFTER_SECONDS = 1.0
 
 
 class _HTTPError(Exception):
@@ -246,7 +244,9 @@ class AioGateway:
                 writer, 503,
                 {"error": "connection limit reached"},
                 keep_alive=False,
-                retry_after=_RETRY_AFTER_SECONDS,
+                # A tripped connection cap is full pressure by
+                # definition; the jitter spreads the reconnect wave.
+                retry_after=retry_after_seconds(1.0),
             )
             writer.close()
             return
@@ -338,6 +338,12 @@ class AioGateway:
             shards = getattr(engine, "num_shards", None)
             if shards is not None:
                 health["shards"] = shards
+                shard_states = getattr(engine, "shard_states", None)
+                if shard_states is not None:
+                    health["shard_states"] = {
+                        str(shard_id): state
+                        for shard_id, state in shard_states().items()
+                    }
             await self._write_response(
                 writer, 200, health, keep_alive=keep_alive
             )
@@ -395,7 +401,8 @@ class AioGateway:
         return (
             200,
             result_to_json(result),
-            _RETRY_AFTER_SECONDS if shed else None,
+            retry_after_seconds(self._service.shed_pressure())
+            if shed else None,
         )
 
     async def _run_batch(

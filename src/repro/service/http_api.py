@@ -29,7 +29,12 @@ from typing import Dict, Optional, Tuple
 
 from ..errors import ReproError
 from .server import ReliabilityService
-from .wire import BadRequest, parse_query_body, result_to_json
+from .wire import (
+    BadRequest,
+    parse_query_body,
+    result_to_json,
+    retry_after_seconds,
+)
 
 __all__ = ["ServiceHTTPServer", "result_to_json"]
 
@@ -83,6 +88,12 @@ class _Handler(BaseHTTPRequestHandler):
             shards = getattr(engine, "num_shards", None)
             if shards is not None:
                 health["shards"] = shards
+                shard_states = getattr(engine, "shard_states", None)
+                if shard_states is not None:
+                    health["shard_states"] = {
+                        str(shard_id): state
+                        for shard_id, state in shard_states().items()
+                    }
             self._reply(200, health)
         elif self.path == "/metrics":
             self._reply(200, self._service.metrics_snapshot())
@@ -124,7 +135,12 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self._reply(
             200, result_to_json(result),
-            retry_after=1.0 if shed else None,
+            # Jittered and pressure-scaled: constant hints would march
+            # every shed client back through the door in one burst.
+            retry_after=(
+                retry_after_seconds(self._service.shed_pressure())
+                if shed else None
+            ),
         )
 
 

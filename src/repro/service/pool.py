@@ -24,6 +24,8 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from ..errors import WorkerPoolRestartError
+
 __all__ = ["AdmissionPolicy", "WorkerPool"]
 
 
@@ -107,12 +109,18 @@ class WorkerPool:
         self._queue.put(item)
 
     def start(self) -> None:
-        """Spawn the worker threads (idempotent)."""
+        """Spawn the worker threads (idempotent while running).
+
+        A stopped pool raises :class:`WorkerPoolRestartError`: stop()
+        poisons the queue and joins the threads, which cannot be undone
+        on the same object.  Whoever supervises the pool replaces it
+        with a new ``WorkerPool`` instead of reviving this one.
+        """
         with self._lock:
             if self._threads:
                 return
             if self._stop.is_set():
-                raise RuntimeError("worker pool cannot be restarted")
+                raise WorkerPoolRestartError()
             for index in range(self._workers):
                 thread = threading.Thread(
                     target=self._run,

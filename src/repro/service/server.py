@@ -135,6 +135,22 @@ class ReliabilityService:
         ``"shm"`` (default) or ``"pickle"``; forwarded to
         :meth:`ShardedRQTreeEngine.build` when *shards* is set.  See
         :mod:`repro.shard.shm` for the shared-memory data plane.
+    shard_respawn:
+        When building a sharded engine (*shards* set), attach a
+        :class:`~repro.shard.supervisor.ShardSupervisor`: liveness
+        pings, supervised respawn of crashed workers, per-shard circuit
+        breakers, and redispatch of in-flight requests.  See
+        ``docs/ARCHITECTURE.md`` ("Failure domains & recovery").
+    shard_retry_timeout_ms:
+        Per-shard attempt timeout (milliseconds).  A sub-query that
+        exceeds it has its worker recycled and is redispatched once.
+        Requires *shard_respawn*.  ``None`` disables the limit.
+    shard_hedge_after_ms:
+        Hedged dispatch: after this many milliseconds without an
+        answer, the supervisor promotes a warm standby and duplicates
+        the sub-query (first answer wins).  ``0`` derives the delay
+        from the shard's observed p99 latency; ``None`` disables
+        hedging.  Requires *shard_respawn*.
     """
 
     def __init__(
@@ -151,6 +167,9 @@ class ReliabilityService:
         shard_mode: str = "process",
         shard_seed: int = 0,
         shard_transport: str = "shm",
+        shard_respawn: bool = False,
+        shard_retry_timeout_ms: Optional[float] = None,
+        shard_hedge_after_ms: Optional[float] = None,
     ) -> None:
         if isinstance(engine, CachingRQTreeEngine):
             self._engine_cache_stats = engine.stats
@@ -171,6 +190,15 @@ class ReliabilityService:
                 mode=shard_mode,
                 flow_engine=getattr(engine, "flow_engine", "dinic"),
                 transport=shard_transport,
+                supervise=shard_respawn,
+                retry_timeout_seconds=(
+                    None if shard_retry_timeout_ms is None
+                    else shard_retry_timeout_ms / 1000.0
+                ),
+                hedge_after_seconds=(
+                    None if shard_hedge_after_ms is None
+                    else shard_hedge_after_ms / 1000.0
+                ),
             )
             self._owned_sharded = engine
         self._engine = engine
@@ -308,6 +336,17 @@ class ReliabilityService:
     ) -> QueryResult:
         """Blocking convenience wrapper over :meth:`submit`."""
         return self.submit(sources, eta, **kwargs).result(timeout=timeout)
+
+    def shed_pressure(self) -> float:
+        """Current overload fraction in ``[0, 1]``: in-flight requests
+        over the admission cap.  Frontends scale their ``Retry-After``
+        hints by it (see :func:`~repro.service.wire.retry_after_seconds`)
+        so backoff advice tracks how overloaded the service really is.
+        """
+        with self._lock:
+            return min(
+                1.0, self._in_flight / self._admission.max_in_flight
+            )
 
     # ------------------------------------------------------------------
     # Worker path
@@ -464,6 +503,12 @@ class ReliabilityService:
             service["shard_transport"] = getattr(
                 self._engine, "transport", "pickle"
             )
+            shard_states = getattr(self._engine, "shard_states", None)
+            if shard_states is not None:
+                service["shard_states"] = {
+                    str(shard_id): state
+                    for shard_id, state in shard_states().items()
+                }
         if self._engine_cache_stats is not None:
             service["engine_cache"] = self._engine_cache_stats.as_dict()
         snapshot["service"] = service

@@ -12,6 +12,7 @@ one spec.
 from __future__ import annotations
 
 import json
+import random
 from typing import Dict, Optional, Tuple
 
 from ..core.engine import QueryResult
@@ -21,6 +22,7 @@ __all__ = [
     "BadRequest",
     "parse_query_body",
     "result_to_json",
+    "retry_after_seconds",
 ]
 
 #: Request fields forwarded verbatim to :meth:`ReliabilityService.submit`.
@@ -35,7 +37,13 @@ class BadRequest(ValueError):
 
 
 def result_to_json(result: QueryResult) -> Dict[str, object]:
-    """The wire form of a :class:`QueryResult` (JSON-able dict)."""
+    """The wire form of a :class:`QueryResult` (JSON-able dict).
+
+    The ``quality`` block is a stable contract: monitoring pipelines
+    alert off it, so its five keys are always present with these exact
+    names, whatever the method, backend, or failure history of the
+    query.  The same values also appear as legacy top-level fields.
+    """
     return {
         "nodes": sorted(result.nodes),
         "eta": result.eta,
@@ -52,7 +60,38 @@ def result_to_json(result: QueryResult) -> Dict[str, object]:
         "worlds_used": result.worlds_used,
         "achieved_confidence": result.achieved_confidence,
         "backend_fallbacks": result.backend_fallbacks,
+        "quality": {
+            "achieved_confidence": result.achieved_confidence,
+            "worlds_used": result.worlds_used,
+            "degraded": result.degraded,
+            "degraded_reason": result.degraded_reason,
+            "shards_recovered": result.shards_recovered,
+        },
     }
+
+
+#: Jitter source for Retry-After hints.  Advisory wall-clock backoff is
+#: the one place the library *wants* nondeterminism: synchronized
+#: retries from shed clients would re-create the very burst that shed
+#: them.
+_retry_rng = random.Random()
+
+
+def retry_after_seconds(
+    pressure: float, rng: Optional[random.Random] = None
+) -> float:
+    """A jittered ``Retry-After`` hint scaled by shed *pressure*.
+
+    *pressure* is the service's current overload fraction in ``[0, 1]``
+    (in-flight / max-in-flight; a tripped connection cap is 1.0).  The
+    base hint grows linearly from 0.25s (idle) to 2.25s (saturated) and
+    is then spread by a ±50% jitter so a burst of shed clients does not
+    return in lockstep.
+    """
+    pressure = min(1.0, max(0.0, pressure))
+    base = 0.25 + 2.0 * pressure
+    jitter = (rng if rng is not None else _retry_rng).uniform(0.5, 1.5)
+    return round(base * jitter, 3)
 
 
 def _parse_budget(body: Dict[str, object]) -> Optional[QueryBudget]:

@@ -10,19 +10,24 @@ scatter-gather planner plus a bounded cross-shard refinement pass.
   the frontier arc set;
 * :mod:`repro.shard.runtime` — :class:`ShardRuntime`: one shard's
   subgraph + RQ-tree engine, shared verbatim by both execution modes;
-* :mod:`repro.shard.worker` — the spawn-safe worker loop and the
-  process / inline clients;
+* :mod:`repro.shard.worker` — the spawn-safe worker loop, the
+  process / inline clients, and the warm-standby pool;
+* :mod:`repro.shard.supervisor` — :class:`ShardSupervisor`: liveness
+  pings, supervised respawn, per-shard circuit breakers, redispatch,
+  and hedged scatter-gather (the self-healing layer);
 * :mod:`repro.shard.engine` — :class:`ShardedRQTreeEngine`: the
   query facade (same signature as :class:`~repro.core.engine.RQTreeEngine`).
 
-See ``docs/ARCHITECTURE.md`` ("Sharded serving") for the query
-lifecycle and the exactness/degradation contract.
+See ``docs/ARCHITECTURE.md`` ("Sharded serving" and "Failure domains &
+recovery") for the query lifecycle and the exactness/degradation
+contract.
 """
 
 from .engine import ShardedRQTreeEngine
 from .plan import ShardPlan, build_shard_plan
 from .runtime import ShardRuntime, build_shard_payload
-from .worker import InlineShardClient, ProcessShardClient
+from .supervisor import ShardSupervisor, SupervisorPolicy
+from .worker import InlineShardClient, ProcessShardClient, WarmStandby
 
 __all__ = [
     "ShardPlan",
@@ -31,5 +36,8 @@ __all__ = [
     "build_shard_payload",
     "InlineShardClient",
     "ProcessShardClient",
+    "WarmStandby",
+    "ShardSupervisor",
+    "SupervisorPolicy",
     "ShardedRQTreeEngine",
 ]

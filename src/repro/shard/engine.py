@@ -73,6 +73,7 @@ from ..resilience.budget import (
 )
 from .plan import ShardPlan, build_shard_plan
 from .runtime import build_shard_payload
+from .supervisor import ShardSupervisor, SupervisorPolicy
 from .worker import InlineShardClient, ProcessShardClient
 
 __all__ = ["ShardedRQTreeEngine"]
@@ -127,6 +128,25 @@ class ShardedRQTreeEngine:
         declaring it unavailable (``None`` = wait for the worker or
         its death).  Budgeted queries always wait at most the
         remaining deadline plus a small grace.
+    supervise:
+        Attach a :class:`~repro.shard.supervisor.ShardSupervisor`:
+        dead workers are respawned (shm segments re-attached, index
+        deserialized from cache), in-flight sub-queries re-dispatched,
+        and each shard runs the healthy → suspect → open-circuit →
+        half-open → healthy breaker state machine with backoff and a
+        crash-loop budget.  Without it a dead shard stays dead
+        (fail-degraded, the pre-supervision behaviour).
+    retry_timeout_seconds:
+        Supervised only: per-shard, per-attempt response timeout.  A
+        shard that is alive but silent for this long is treated as
+        hung — its worker is replaced and the sub-query retried once.
+        ``None`` disables the attempt timeout.
+    hedge_after_seconds:
+        Supervised process mode only: straggler hedging delay.  A
+        positive value duplicates a still-unanswered sub-query onto a
+        fresh worker after that many seconds (first answer wins);
+        ``0.0`` derives the delay from the shard's observed p99
+        latency; ``None`` (default) disables hedging.
     """
 
     def __init__(
@@ -140,6 +160,9 @@ class ShardedRQTreeEngine:
         shard_timeout_seconds: Optional[float] = None,
         transport: str = "pickle",
         segments: Optional[Sequence[str]] = None,
+        supervisor: Optional[ShardSupervisor] = None,
+        retry_timeout_seconds: Optional[float] = None,
+        hedge_after_seconds: Optional[float] = None,
     ) -> None:
         if plan.num_nodes != graph.num_nodes:
             raise ValueError(
@@ -157,8 +180,11 @@ class ShardedRQTreeEngine:
         self.mc_refine_floor = mc_refine_floor
         self.shard_timeout_seconds = shard_timeout_seconds
         self.transport = transport
+        self.retry_timeout_seconds = retry_timeout_seconds
+        self.hedge_after_seconds = hedge_after_seconds
         self._clients = list(clients)
         self._segments = list(segments or [])
+        self._supervisor = supervisor
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -178,6 +204,10 @@ class ShardedRQTreeEngine:
         shard_timeout_seconds: Optional[float] = None,
         start_timeout: float = 300.0,
         transport: str = "shm",
+        supervise: bool = False,
+        supervisor_policy: Optional[SupervisorPolicy] = None,
+        retry_timeout_seconds: Optional[float] = None,
+        hedge_after_seconds: Optional[float] = None,
     ) -> "ShardedRQTreeEngine":
         """Plan the partition, then build one engine per shard.
 
@@ -188,6 +218,11 @@ class ShardedRQTreeEngine:
         bit-identical answers; shm is the data plane, pickle the
         portable fallback (and is substituted automatically where
         shared memory is unavailable).
+
+        ``supervise=True`` adds the self-healing layer (respawn,
+        circuit breakers, redispatch, optional hedging) — see the
+        constructor's parameter docs and
+        :mod:`repro.shard.supervisor`.
         """
         if mode not in ("process", "inline"):
             raise ValueError(
@@ -229,6 +264,13 @@ class ShardedRQTreeEngine:
                     client.wait_ready(timeout=start_timeout)
             else:
                 clients = [InlineShardClient(p) for p in payloads]
+            supervisor = None
+            if supervise:
+                supervisor = ShardSupervisor(
+                    clients, payloads, mode=mode,
+                    policy=supervisor_policy, seed=seed,
+                )
+                supervisor.start()
         except BaseException:
             for client in clients:
                 try:
@@ -245,6 +287,9 @@ class ShardedRQTreeEngine:
             shard_timeout_seconds=shard_timeout_seconds,
             transport=transport,
             segments=segments,
+            supervisor=supervisor,
+            retry_timeout_seconds=retry_timeout_seconds,
+            hedge_after_seconds=hedge_after_seconds,
         )
 
     @property
@@ -252,12 +297,51 @@ class ShardedRQTreeEngine:
         return self.plan.num_shards
 
     @property
+    def supervisor(self) -> Optional[ShardSupervisor]:
+        """The attached supervisor, or ``None`` when unsupervised."""
+        return self._supervisor
+
+    def _client(self, shard_id: int):
+        """The shard's current client (supervision swaps them on
+        respawn; the construction-time list goes stale)."""
+        if self._supervisor is not None:
+            return self._supervisor.client(shard_id)
+        return self._clients[shard_id]
+
+    @property
     def tree_height(self) -> int:
         """Tallest per-shard RQ-tree (the sharded analogue of
         ``engine.tree.height``; used by height-ratio style reporting)."""
         return max(
-            (client.tree_height for client in self._clients), default=0
+            (
+                self._client(shard_id).tree_height
+                for shard_id in range(self.num_shards)
+            ),
+            default=0,
         )
+
+    def shard_states(self) -> Dict[int, Dict[str, object]]:
+        """Per-shard health for ``/healthz``.
+
+        Supervised engines report the full state machine (state,
+        structured reason, respawn count, queue depth); unsupervised
+        ones report a plain healthy/dead liveness snapshot.
+        """
+        if self._supervisor is not None:
+            return self._supervisor.states()
+        snapshot: Dict[int, Dict[str, object]] = {}
+        for client in self._clients:
+            alive = True
+            probe = getattr(client, "is_alive", None)
+            if probe is not None:
+                alive = bool(probe())
+            snapshot[client.shard_id] = {
+                "state": "healthy" if alive else "dead",
+                "reason": None if alive else "worker process died",
+                "respawns": 0,
+                "queue_depth": getattr(client, "queue_depth", 0),
+            }
+        return snapshot
 
     def close(self) -> None:
         """Shut down every shard worker and release the engine's
@@ -265,6 +349,11 @@ class ShardedRQTreeEngine:
         if self._closed:
             return
         self._closed = True
+        if self._supervisor is not None:
+            # Owns the *current* clients (and any standbys/retired
+            # stragglers); client.close() below is then a no-op for
+            # whatever overlaps.
+            self._supervisor.close()
         for client in self._clients:
             client.close()
         if self._segments:
@@ -381,6 +470,7 @@ class ShardedRQTreeEngine:
             worlds_used=refined["worlds_used"],
             achieved_confidence=_achieved_confidence(refined["statuses"]),
             backend_fallbacks=refined["backend_fallbacks"],
+            shards_recovered=gather["shards_recovered"],
         )
 
     # ------------------------------------------------------------------
@@ -400,6 +490,7 @@ class ShardedRQTreeEngine:
             by_shard.setdefault(self.plan.shard_of[node], []).append(node)
         sub_budget = self._sub_budget(clock)
 
+        supervisor = self._supervisor
         handles = []
         for shard_id in sorted(by_shard):
             request = {
@@ -410,9 +501,14 @@ class ShardedRQTreeEngine:
                 "budget": sub_budget,
             }
             try:
-                handles.append(
-                    (shard_id, self._clients[shard_id].submit(request))
-                )
+                if supervisor is not None:
+                    handles.append(
+                        (shard_id, supervisor.submit(shard_id, request))
+                    )
+                else:
+                    handles.append(
+                        (shard_id, self._clients[shard_id].submit(request))
+                    )
             except ShardUnavailableError as error:
                 handles.append((shard_id, error))
 
@@ -425,6 +521,7 @@ class ShardedRQTreeEngine:
             "max_subgraph_arcs": 0,
             "degraded": False,
             "degraded_reason": None,
+            "shards_recovered": 0,
         }
         failures: List[str] = []
         shard_degraded: Optional[str] = None
@@ -434,9 +531,20 @@ class ShardedRQTreeEngine:
                 registry.counter("shard.unavailable").inc()
                 continue
             try:
-                response = self._clients[shard_id].wait(
-                    handle, timeout=self._wait_timeout(clock)
-                )
+                if supervisor is not None:
+                    response, recovered = supervisor.wait(
+                        handle,
+                        timeout=self._wait_timeout(clock),
+                        attempt_timeout=self.retry_timeout_seconds,
+                        hedge_after=self._hedge_delay(shard_id),
+                    )
+                    if recovered:
+                        merged["shards_recovered"] += 1
+                        registry.counter("shard.supervisor.recovered_answers").inc()
+                else:
+                    response = self._clients[shard_id].wait(
+                        handle, timeout=self._wait_timeout(clock)
+                    )
             except ShardUnavailableError as error:
                 failures.append(str(error))
                 registry.counter("shard.unavailable").inc()
@@ -625,6 +733,15 @@ class ShardedRQTreeEngine:
         if clock is not None and clock.budget.deadline_seconds is not None:
             return clock.remaining_seconds() + _WAIT_GRACE_SECONDS
         return self.shard_timeout_seconds
+
+    def _hedge_delay(self, shard_id: int) -> Optional[float]:
+        """The hedging delay for one dispatch: fixed when configured,
+        p99-derived when ``hedge_after_seconds == 0``, else off."""
+        if self._supervisor is None or self.hedge_after_seconds is None:
+            return None
+        if self.hedge_after_seconds > 0:
+            return self.hedge_after_seconds
+        return self._supervisor.hedge_delay(shard_id)
 
     @staticmethod
     def _registry():

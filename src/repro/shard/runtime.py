@@ -122,13 +122,29 @@ class ShardRuntime:
         self._local_of = {
             node: index for index, node in enumerate(self._global_ids)
         }
-        self._engine = RQTreeEngine.build(
-            graph,
-            max_imbalance=payload["max_imbalance"],
-            seed=payload["build_seed"],
-            strategy=payload["strategy"],
-            flow_engine=payload["flow_engine"],
-        )
+        tree_document = payload.get("tree_json")
+        if tree_document is not None:
+            # Supervised respawn fast path: the supervisor cached the
+            # first worker's serialized RQ-tree next to the payload, so
+            # a replacement worker deserializes the index instead of
+            # re-running the partition cascade.  Deterministic builds
+            # make the two routes equivalent: from_json validates and
+            # reconstructs the exact tree to_json saw.
+            from ..core.rqtree import RQTree
+
+            self._engine = RQTreeEngine(
+                graph,
+                RQTree.from_json(tree_document),
+                flow_engine=payload["flow_engine"],
+            )
+        else:
+            self._engine = RQTreeEngine.build(
+                graph,
+                max_imbalance=payload["max_imbalance"],
+                seed=payload["build_seed"],
+                strategy=payload["strategy"],
+                flow_engine=payload["flow_engine"],
+            )
 
     @staticmethod
     def _from_segment(meta: Dict[str, object]):
@@ -173,6 +189,16 @@ class ShardRuntime:
     @property
     def num_nodes(self) -> int:
         return len(self._global_ids)
+
+    def index_json(self) -> Dict[str, object]:
+        """This shard's serialized RQ-tree (``RQTree.to_json``).
+
+        Fetched once by the supervisor after start-up and cached into
+        the shard's payload, so a respawned worker skips the index
+        build — respawn then costs the payload bytes plus tree
+        deserialization, not a partition cascade.
+        """
+        return self._engine.tree.to_json()
 
     def handle(self, request: Dict[str, object]) -> Dict[str, object]:
         """Answer one sub-query; ids in and out are *global*.

@@ -10,13 +10,18 @@ payload (:func:`~repro.shard.runtime.build_shard_payload`) and the loop
 function must be importable at module top level.
 
 The wire protocol is deliberately tiny: requests are
-``("query", request_id, request_dict)`` or ``("stop",)``, responses are
+``("query" | "ping" | "index", request_id, arg)``, ``("init", -1,
+payload)`` (warm-standby activation, see :class:`WarmStandby`) or
+``("stop",)``; responses are
 ``("ready" | "result" | "error" | "fatal", request_id, value)``.  The
 client side (:class:`ProcessShardClient`) tags every call with a fresh
 id and a background receiver thread routes responses to per-call
 events, so many gateway threads can have sub-queries in flight on the
 same shard at once (the worker answers them one at a time — each worker
-is single-threaded by design, one CPU core per shard).
+is single-threaded by design, one CPU core per shard).  ``ping`` is the
+supervisor's liveness probe (a queue round-trip, so it also proves the
+worker loop is draining); ``index`` returns the worker's serialized
+RQ-tree so a respawn can skip the index build entirely.
 
 Failure surface: every transport problem — worker died, start-up
 failed, response timed out, the runtime raised — becomes a
@@ -42,12 +47,13 @@ from .runtime import ShardRuntime
 __all__ = [
     "InlineShardClient",
     "ProcessShardClient",
+    "WarmStandby",
     "shard_worker_main",
 ]
 
 
 def shard_worker_main(
-    payload: Dict[str, object],
+    payload: Optional[Dict[str, object]],
     requests: "multiprocessing.Queue",
     responses: "multiprocessing.Queue",
 ) -> None:
@@ -67,6 +73,29 @@ def shard_worker_main(
     ``/dev/shm`` entries forever (see :mod:`repro.shard.shm`).
     """
     parent = multiprocessing.parent_process()
+    if payload is None:
+        # Warm standby: the expensive part of a spawn — a fresh
+        # interpreter plus the library import — is already paid.  Sit
+        # idle until the supervisor activates us for whichever shard
+        # needs a body, with the same orphan hygiene as the serve loop.
+        # The "warm" marker tells the supervisor the boot cost is
+        # actually behind us: a just-spawned standby is *alive* long
+        # before it is cheap to adopt, and hedging only wants the
+        # cheap kind.  (wait_ready and the receiver loop both ignore
+        # the marker if it is still queued at adoption time.)
+        responses.put(("warm", -1, None))
+        while True:
+            try:
+                message = requests.get(timeout=1.0)
+            except queue_module.Empty:
+                if parent is not None and not parent.is_alive():
+                    return
+                continue
+            if message[0] == "stop":
+                return
+            if message[0] == "init":
+                payload = message[2]
+                break
     try:
         runtime = ShardRuntime(payload)
     except BaseException as error:  # noqa: BLE001 - reported to parent
@@ -84,11 +113,19 @@ def shard_worker_main(
                 continue
             if message[0] == "stop":
                 return
-            _, request_id, request = message
+            kind, request_id, request = message
+            if kind == "ping":
+                responses.put(("result", request_id, {"pong": True}))
+                continue
             try:
-                responses.put(
-                    ("result", request_id, runtime.handle(request))
-                )
+                if kind == "index":
+                    responses.put(
+                        ("result", request_id, runtime.index_json())
+                    )
+                else:
+                    responses.put(
+                        ("result", request_id, runtime.handle(request))
+                    )
             except BaseException as error:  # noqa: BLE001 - to parent
                 responses.put(
                     ("error", request_id, f"{type(error).__name__}: {error}")
@@ -96,6 +133,80 @@ def shard_worker_main(
     finally:
         runtime = None  # drop CSR views before closing their segment
         shm.detach_all()
+
+
+class WarmStandby:
+    """A pre-spawned, idle shard worker awaiting activation.
+
+    Spawning a worker pays for a fresh interpreter plus the library
+    import — hundreds of milliseconds that would dominate respawn
+    latency.  A standby pays that cost ahead of time: its process sits
+    in :func:`shard_worker_main` with no payload, and the supervisor
+    activates it for whichever shard dies first by handing the payload
+    over the already-open request queue (:class:`ProcessShardClient`
+    adopts the process and queues via its ``standby=`` parameter).
+    """
+
+    def __init__(self) -> None:
+        context = multiprocessing.get_context("spawn")
+        self._requests = context.Queue()
+        self._responses = context.Queue()
+        self._process = context.Process(
+            target=shard_worker_main,
+            args=(None, self._requests, self._responses),
+            name="repro-shard-standby",
+            daemon=True,
+        )
+        self._process.start()
+        self._taken = False
+        self._warm = False
+
+    def is_alive(self) -> bool:
+        return not self._taken and self._process.is_alive()
+
+    def is_warm(self) -> bool:
+        """Whether the standby finished booting (interpreter + imports).
+
+        A standby is cheap to adopt only once it has reached its wait
+        loop and posted the ``warm`` marker; before that, adoption
+        still works but blocks behind the remaining boot time.
+        """
+        if self._warm:
+            return True
+        if self._taken:
+            return False
+        try:
+            while True:
+                kind = self._responses.get_nowait()[0]
+                if kind == "warm":
+                    self._warm = True
+        except queue_module.Empty:
+            pass
+        except (OSError, ValueError):  # pragma: no cover - torn down
+            pass
+        return self._warm
+
+    def take(self):
+        """Hand the (process, request queue, response queue) triple to an
+        adopting client; the standby must not be reused afterwards."""
+        self._taken = True
+        return self._process, self._requests, self._responses
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        if self._taken:
+            return
+        self._taken = True
+        try:
+            self._requests.put(("stop",))
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+        self._process.join(timeout=join_timeout)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join(timeout=join_timeout)
+        for q in (self._requests, self._responses):
+            q.close()
+            q.cancel_join_thread()
 
 
 class _PendingCall:
@@ -119,20 +230,31 @@ class ProcessShardClient:
     several shards concurrently.
     """
 
-    def __init__(self, payload: Dict[str, object]) -> None:
-        context = multiprocessing.get_context("spawn")
+    def __init__(
+        self,
+        payload: Dict[str, object],
+        standby: Optional[WarmStandby] = None,
+    ) -> None:
         self.shard_id: int = payload["shard_id"]
         self.num_nodes: int = payload["num_nodes"]
         self.tree_height: int = 0
-        self._requests = context.Queue()
-        self._responses = context.Queue()
-        self._process = context.Process(
-            target=shard_worker_main,
-            args=(payload, self._requests, self._responses),
-            name=f"repro-shard-{self.shard_id}",
-            daemon=True,
-        )
-        self._process.start()
+        if standby is not None:
+            # Adopt a warm standby: the process is already imported and
+            # waiting; activation is one queue message instead of a
+            # spawn, which is what makes supervised respawn cheap.
+            self._process, self._requests, self._responses = standby.take()
+            self._requests.put(("init", -1, payload))
+        else:
+            context = multiprocessing.get_context("spawn")
+            self._requests = context.Queue()
+            self._responses = context.Queue()
+            self._process = context.Process(
+                target=shard_worker_main,
+                args=(payload, self._requests, self._responses),
+                name=f"repro-shard-{self.shard_id}",
+                daemon=True,
+            )
+            self._process.start()
         self._ready = False
         self._closed = False
         self._lock = threading.Lock()
@@ -208,6 +330,34 @@ class ProcessShardClient:
     # ------------------------------------------------------------------
     def submit(self, request: Dict[str, object]) -> int:
         """Enqueue one sub-query; returns a handle for :meth:`wait`."""
+        return self._submit("query", request)
+
+    def submit_control(self, kind: str) -> int:
+        """Enqueue a ``"ping"`` or ``"index"`` control message (async —
+        the supervisor polls the handle so liveness checks never block
+        its monitor loop behind a busy worker)."""
+        return self._submit(kind, None)
+
+    def ping(self, timeout: float = 5.0) -> bool:
+        """Round-trip a no-op through the worker's queues.  Proves not
+        just that the process is alive but that its serve loop drains."""
+        self.wait(self.submit_control("ping"), timeout=timeout)
+        return True
+
+    def fetch_index(self, timeout: float = 300.0) -> Dict[str, object]:
+        """The worker's serialized RQ-tree (for respawn caching)."""
+        return self.wait(self.submit_control("index"), timeout=timeout)
+
+    def is_alive(self) -> bool:
+        return self._ready and not self._closed and self._process.is_alive()
+
+    @property
+    def queue_depth(self) -> int:
+        """Calls currently in flight on this worker (watermark input)."""
+        with self._lock:
+            return len(self._pending)
+
+    def _submit(self, kind: str, arg: object) -> int:
         if not self._ready or self._closed:
             raise ShardUnavailableError(self.shard_id, "client not running")
         call = _PendingCall()
@@ -216,7 +366,7 @@ class ProcessShardClient:
             self._next_id += 1
             self._pending[request_id] = call
         try:
-            self._requests.put(("query", request_id, request))
+            self._requests.put((kind, request_id, arg))
         except (OSError, ValueError) as error:
             with self._lock:
                 self._pending.pop(request_id, None)
@@ -241,7 +391,7 @@ class ProcessShardClient:
                 with self._lock:
                     self._pending.pop(handle, None)
                 raise ShardUnavailableError(
-                    self.shard_id, "worker process died"
+                    self.shard_id, "worker process died", worker_dead=True
                 )
             if deadline is not None and time.monotonic() >= deadline:
                 with self._lock:
@@ -252,9 +402,62 @@ class ProcessShardClient:
         with self._lock:
             self._pending.pop(handle, None)
         if call.error is not None:
-            raise ShardUnavailableError(self.shard_id, call.error)
+            raise ShardUnavailableError(
+                self.shard_id, call.error,
+                worker_dead=call.error == "client closed",
+            )
         assert call.result is not None
         return call.result
+
+    def poll(self, handle: int) -> Optional[Dict[str, object]]:
+        """Non-blocking probe of a :meth:`submit` handle.
+
+        Returns the response once it has arrived (consuming the
+        handle), ``None`` while the call is still in flight on a live
+        worker, and raises :class:`ShardUnavailableError` — also
+        consuming the handle — when the worker answered with an error
+        or died holding the call.  Unlike :meth:`wait`, polling never
+        forfeits the handle on a timeout, so the supervisor can keep a
+        call alive across respawn decisions and hedged duplicates.
+        """
+        with self._lock:
+            call = self._pending.get(handle)
+        if call is None:
+            raise ShardUnavailableError(
+                self.shard_id, f"unknown request handle {handle}"
+            )
+        if call.event.is_set():
+            with self._lock:
+                self._pending.pop(handle, None)
+            if call.error is not None:
+                raise ShardUnavailableError(
+                    self.shard_id, call.error,
+                    worker_dead=call.error == "client closed",
+                )
+            assert call.result is not None
+            return call.result
+        if not self._process.is_alive():
+            with self._lock:
+                self._pending.pop(handle, None)
+            raise ShardUnavailableError(
+                self.shard_id, "worker process died", worker_dead=True
+            )
+        return None
+
+    def wait_event(self, handle: int, timeout: float) -> bool:
+        """Block up to ``timeout`` for a handle's response event without
+        consuming it (pair with :meth:`poll`)."""
+        with self._lock:
+            call = self._pending.get(handle)
+        if call is None:
+            return True
+        return call.event.wait(timeout)
+
+    def cancel(self, handle: int) -> None:
+        """Forget an in-flight handle; its late response is dropped by
+        the receiver (used for the losing lane of a hedged dispatch)."""
+        with self._lock:
+            self._pending.pop(handle, None)
 
     # ------------------------------------------------------------------
     # Shutdown
@@ -323,8 +526,46 @@ class InlineShardClient:
     ) -> Dict[str, object]:
         kind, value = handle
         if kind == "error":
-            raise ShardUnavailableError(self.shard_id, str(value))
+            raise ShardUnavailableError(
+                self.shard_id, str(value),
+                worker_dead="client closed" in str(value),
+            )
         return value  # type: ignore[return-value]
+
+    def submit_control(self, kind: str) -> Tuple[str, object]:
+        if self._runtime is None:
+            return ("error", "ShardUnavailableError: client closed")
+        if kind == "ping":
+            return ("result", {"pong": True})
+        try:
+            return ("result", self._runtime.index_json())
+        except Exception as error:  # noqa: BLE001 - same surface
+            return ("error", f"{type(error).__name__}: {error}")
+
+    def ping(self, timeout: float = 5.0) -> bool:
+        self.wait(self.submit_control("ping"), timeout=timeout)
+        return True
+
+    def fetch_index(self, timeout: float = 300.0) -> Dict[str, object]:
+        return self.wait(self.submit_control("index"), timeout=timeout)
+
+    def is_alive(self) -> bool:
+        return self._runtime is not None
+
+    @property
+    def queue_depth(self) -> int:
+        return 0  # submit is synchronous: nothing is ever in flight
+
+    def poll(
+        self, handle: Tuple[str, object]
+    ) -> Optional[Dict[str, object]]:
+        return self.wait(handle)
+
+    def wait_event(self, handle: Tuple[str, object], timeout: float) -> bool:
+        return True  # the answer was computed at submit time
+
+    def cancel(self, handle: Tuple[str, object]) -> None:
+        pass
 
     def close(self, join_timeout: float = 5.0) -> None:
         # Drop the runtime so any shared-memory CSR views it holds die

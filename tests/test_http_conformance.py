@@ -74,6 +74,62 @@ def test_query_matches_direct_engine(server, medium_engine):
         conn.close()
 
 
+def test_quality_block_schema(server):
+    """Every wire response carries the stable per-query quality block.
+
+    Monitoring pipelines alert off these five keys, so they must be
+    present with exactly these names and JSON types on every answer —
+    healthy, degraded, or shed — from both frontends.
+    """
+    expected_keys = {
+        "achieved_confidence", "worlds_used", "degraded",
+        "degraded_reason", "shards_recovered",
+    }
+
+    def assert_schema(reply):
+        quality = reply["quality"]
+        assert set(quality) == expected_keys
+        assert isinstance(quality["achieved_confidence"], (int, float))
+        assert isinstance(quality["worlds_used"], int)
+        assert isinstance(quality["degraded"], bool)
+        assert quality["degraded_reason"] is None or isinstance(
+            quality["degraded_reason"], str
+        )
+        assert isinstance(quality["shards_recovered"], int)
+        # The block mirrors the legacy top-level fields exactly.
+        assert quality["achieved_confidence"] == reply["achieved_confidence"]
+        assert quality["worlds_used"] == reply["worlds_used"]
+        assert quality["degraded"] == reply["degraded"]
+        assert quality["degraded_reason"] == reply["degraded_reason"]
+
+    conn = _connect(server)
+    try:
+        _, payload = _post(conn, "/query", {
+            "sources": [3], "eta": 0.5, "method": "mc",
+            "num_samples": 100, "seed": 4,
+        })
+        healthy = json.loads(payload)
+        assert_schema(healthy)
+        assert healthy["quality"]["degraded"] is False
+        assert healthy["quality"]["shards_recovered"] == 0
+
+        # A shed (degraded) answer carries the same block.
+        service = server.service
+        with service._lock:
+            service._in_flight += service.admission.max_in_flight
+        try:
+            _, payload = _post(conn, "/query", {"sources": [1], "eta": 0.5})
+            shed = json.loads(payload)
+        finally:
+            with service._lock:
+                service._in_flight -= service.admission.max_in_flight
+        assert_schema(shed)
+        assert shed["quality"]["degraded"] is True
+        assert shed["quality"]["degraded_reason"].startswith("shed:")
+    finally:
+        conn.close()
+
+
 def test_healthz_and_metrics(server):
     conn = _connect(server)
     try:

@@ -419,6 +419,24 @@ def test_pool_validation():
         WorkerPool(lambda item: None, workers=0)
 
 
+def test_pool_restart_raises_typed_error():
+    # Regression: restarting a stopped pool used to raise a bare
+    # RuntimeError; supervised-restart callers need a typed surface
+    # that spells out the replace-don't-revive contract.
+    from repro.errors import ReproError, WorkerPoolRestartError
+
+    pool = WorkerPool(lambda item: None, workers=1)
+    pool.start()
+    pool.start()  # idempotent while running
+    pool.stop()
+    with pytest.raises(WorkerPoolRestartError, match="new WorkerPool"):
+        pool.start()
+    # The typed error stays catchable by both legacy and library-wide
+    # handlers.
+    assert issubclass(WorkerPoolRestartError, RuntimeError)
+    assert issubclass(WorkerPoolRestartError, ReproError)
+
+
 # ----------------------------------------------------------------------
 # Metrics registry
 # ----------------------------------------------------------------------
