@@ -1,28 +1,55 @@
-"""A comparison of Monte-Carlo methods for two-terminal reliability.
+"""Estimator benchmarks: the Fishman MC comparison and the planner bench.
 
-The paper's MC baseline cites Fishman's "A Comparison of Four Monte
-Carlo Methods for Estimating the Probability of s-t Connectedness"
-[13]; this bench recreates that comparison on the library's estimator
-suite at equal world budgets:
+Two experiments share this module:
 
-* crude MC (`mc_reliability`),
-* antithetic pairs,
-* stratified conditioning on the highest-variance arcs,
-* the RHT-style recursive path-factoring estimator.
+``test_estimator_comparison`` recreates Fishman's "A Comparison of Four
+Monte Carlo Methods for Estimating the Probability of s-t
+Connectedness" [13] on the library's low-level reliability estimators
+at equal world budgets (crude MC, antithetic pairs, stratified
+conditioning, RHT-style recursion), measuring RMSE against the exact
+factoring oracle.
 
-Measured: RMSE against the exact factoring oracle across replications.
-Expected shape (Fishman's conclusion transposed): every variance-
-reduction scheme beats crude MC at equal budget; stratification and
-recursion help most when a few arcs dominate the uncertainty.
+``test_estimator_portfolio`` is the headline bench for the estimator
+portfolio (``repro.estimators``): a mixed workload of reliability-set
+queries where no single fixed method wins everywhere —
+
+* tiny sparse subgraphs queried at a high world budget, where the
+  exact frontier-conditioning estimator is both fastest and
+  zero-variance;
+* mid-size subgraphs past the exact caps, where the lazy
+  BFS-sharing sampler wins and the exact method must fall back.
+
+Every fixed estimator (``mc``, ``rss``, ``lazy``, ``exact``) and the
+cost-based planner (``auto``) run the whole workload.  Each method is
+scored in *regret seconds*: wall-clock elapsed plus an accuracy
+penalty (``ERROR_WEIGHT`` seconds per unit of mean absolute error
+against a reference answer — exact frontier conditioning on the tiny
+instances, a high-budget independently-seeded lazy run on the mid
+instances).  The bound-only methods (``lb``/``lb+``) answer a
+one-sided certification problem and are out of scope here.
+
+Headline assertion (the ISSUE's acceptance bar): ``auto`` never loses
+to the worst fixed method and beats the best fixed method on the mixed
+workload — i.e. the planner's per-batch choice is worth more than any
+single global default.
+
+Results go to ``BENCH_estimators.json`` at the repo root; rows are
+keyed by ``method`` and carry a ``qps`` value for the CI trajectory
+check (``scripts/check_bench_trajectory.py`` against the quick-mode
+baseline under ``benchmarks/baselines/``).  ``BENCH_QUICK=1`` shrinks
+the workload for CI.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import statistics
+import time
+from pathlib import Path
 
-import pytest
-
+from repro import RQTreeEngine
 from repro.eval.reporting import format_table
 from repro.graph.exact import exact_reliability
 from repro.graph.generators import uncertain_gnp
@@ -33,11 +60,29 @@ from repro.reliability.variance_reduction import (
     stratified_reliability,
 )
 
-from conftest import write_result
+from conftest import host_info, write_result
 
-BUDGET = 200          # worlds per estimate
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+BUDGET = 200          # worlds per estimate (Fishman comparison)
 REPLICATIONS = 40     # independent estimates per method
 PAIRS = 5             # (graph, source, target) instances
+
+#: Fixed methods raced against ``auto`` on the mixed workload.
+FIXED_METHODS = ("mc", "rss", "lazy", "exact")
+ETA = 0.2
+QUERY_SEED = 5
+#: Regret exchange rate: seconds charged per unit of mean abs error.
+ERROR_WEIGHT = 2.0
+
+TINY_COUNT = 4 if QUICK else 10
+TINY_SAMPLES = 8000 if QUICK else 20000
+MID_COUNT = 2 if QUICK else 6
+MID_NODES = 80 if QUICK else 120
+MID_SAMPLES = 1000 if QUICK else 3000
+REF_SAMPLES = 8000 if QUICK else 20000
+
+JSON_PATH = Path(__file__).parent.parent / "BENCH_estimators.json"
 
 
 def _instances():
@@ -103,3 +148,153 @@ def test_estimator_comparison(benchmark):
     assert rmse["antithetic"] <= rmse["crude MC"] * 1.1
     assert rmse["stratified (k=4)"] <= rmse["crude MC"] * 1.05
     assert rmse["RHT-style recursive"] <= rmse["crude MC"] * 1.1
+
+
+# ---------------------------------------------------------------------------
+# Portfolio / planner bench
+# ---------------------------------------------------------------------------
+
+
+def _tiny_instances():
+    """Sparse 12-node graphs inside the exact caps, queried at a high
+    world budget.  Truth is the exact frontier-conditioning answer
+    (validated to machine precision against the factoring oracle in
+    ``tests/test_estimators.py``); instances where the exact estimator
+    fell back are discarded."""
+    out = []
+    seed = 0
+    while len(out) < TINY_COUNT and seed < 200:
+        g = uncertain_gnp(12, 0.12, (0.3, 0.95), seed=seed)
+        seed += 1
+        if not 12 <= g.num_arcs <= 18:
+            continue
+        engine = RQTreeEngine.build(g, seed=3)
+        ref = engine.query(
+            [0], ETA, method="exact", num_samples=TINY_SAMPLES, seed=9991
+        )
+        if ref.estimator != "exact":
+            continue
+        truth = {n: v for n, v in ref.estimates.items() if n != 0}
+        if sum(1 for v in truth.values() if v >= ETA) < 3:
+            continue
+        out.append((engine, truth, TINY_SAMPLES))
+    return out
+
+
+def _mid_instances():
+    """Mid-size graphs past the exact caps.  Truth is a high-budget
+    lazy run under an independent seed, so no timed method shares its
+    sample stream."""
+    out = []
+    seed = 0
+    while len(out) < MID_COUNT and seed < 100:
+        g = uncertain_gnp(MID_NODES, 2.6 / MID_NODES, (0.3, 0.9), seed=seed)
+        seed += 1
+        engine = RQTreeEngine.build(g, seed=3)
+        ref = engine.query(
+            [0], ETA, method="lazy", num_samples=REF_SAMPLES, seed=9991
+        )
+        truth = {n: v for n, v in ref.estimates.items() if n != 0}
+        if sum(1 for v in truth.values() if v >= ETA) < 8:
+            continue
+        out.append((engine, truth, MID_SAMPLES))
+    return out
+
+
+def _run_method(method, workload):
+    """One method over the whole workload: (total_seconds,
+    mean_abs_error, regret_seconds, estimators_used)."""
+    total = 0.0
+    errors = []
+    used = []
+    for engine, truth, samples in workload:
+        start = time.perf_counter()
+        result = engine.query(
+            [0], ETA, method=method, num_samples=samples, seed=QUERY_SEED
+        )
+        total += time.perf_counter() - start
+        errors.append(statistics.fmean(
+            abs(result.estimates.get(n, 0.0) - v) for n, v in truth.items()
+        ))
+        used.append(result.estimator or method)
+    mean_error = statistics.fmean(errors)
+    regret = total + ERROR_WEIGHT * sum(errors)
+    return total, mean_error, regret, used
+
+
+def test_estimator_portfolio():
+    workload = _tiny_instances() + _mid_instances()
+    assert len(workload) >= TINY_COUNT + MID_COUNT, (
+        "workload generation came up short"
+    )
+
+    records = []
+    regrets = {}
+    decisions = {}
+    for method in FIXED_METHODS + ("auto",):
+        total, mean_error, regret, used = _run_method(method, workload)
+        regrets[method] = regret
+        decisions[method] = used
+        records.append({
+            "method": method,
+            "queries": len(workload),
+            "qps": round(len(workload) / total, 2),
+            "total_seconds": round(total, 4),
+            "mean_abs_error": round(mean_error, 5),
+            "regret_seconds": round(regret, 4),
+        })
+
+    fixed = {m: regrets[m] for m in FIXED_METHODS}
+    best_fixed = min(fixed, key=fixed.get)
+    worst_fixed = max(fixed, key=fixed.get)
+    headline = {
+        "auto_regret_seconds": round(regrets["auto"], 4),
+        "best_fixed": best_fixed,
+        "best_fixed_regret_seconds": round(fixed[best_fixed], 4),
+        "worst_fixed": worst_fixed,
+        "worst_fixed_regret_seconds": round(fixed[worst_fixed], 4),
+        "auto_choices": decisions["auto"],
+    }
+
+    JSON_PATH.write_text(json.dumps({
+        "experiment": "estimator_portfolio",
+        "quick_mode": QUICK,
+        "eta": ETA,
+        "error_weight_seconds": ERROR_WEIGHT,
+        "tiny_instances": TINY_COUNT,
+        "mid_instances": MID_COUNT,
+        "sweep": records,
+        "headline": headline,
+        "host": host_info(),
+    }, indent=2) + "\n", encoding="utf-8")
+
+    write_result(
+        "estimator_portfolio",
+        format_table(
+            ["method", "qps", "total s", "mean |err|", "regret s"],
+            [(r["method"], r["qps"], r["total_seconds"],
+              r["mean_abs_error"], r["regret_seconds"]) for r in records],
+            title=f"Estimator portfolio, mixed workload "
+            f"({TINY_COUNT} tiny + {MID_COUNT} mid queries; regret = "
+            f"seconds + {ERROR_WEIGHT:.0f} x mean abs error)",
+        ) + f"\nauto chose: {decisions['auto']}",
+    )
+
+    # The planner must never lose to the worst global default...
+    assert regrets["auto"] <= fixed[worst_fixed], (
+        f"auto regret {regrets['auto']:.4f}s exceeds worst fixed "
+        f"({worst_fixed}: {fixed[worst_fixed]:.4f}s)"
+    )
+    # ...and per-batch choice must be worth more than the best one.
+    # Quick mode runs a shrunken workload on shared runners, so it only
+    # requires near-parity with the best fixed method.
+    if QUICK:
+        assert regrets["auto"] <= fixed[best_fixed] * 1.05, (
+            f"auto regret {regrets['auto']:.4f}s not within 5% of best "
+            f"fixed ({best_fixed}: {fixed[best_fixed]:.4f}s)"
+        )
+    else:
+        assert regrets["auto"] < fixed[best_fixed], (
+            f"auto regret {regrets['auto']:.4f}s does not beat best "
+            f"fixed ({best_fixed}: {fixed[best_fixed]:.4f}s)"
+        )

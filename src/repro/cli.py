@@ -35,6 +35,7 @@ from .core.builder import build_rqtree
 from .core.engine import RQTreeEngine
 from .core.rqtree import RQTree
 from .datasets.registry import dataset_names, load_dataset
+from .estimators import available_methods
 from .errors import ReproError
 from .resilience import QueryBudget
 from .eval.reporting import format_table
@@ -113,7 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--sources", required=True, type=_parse_sources,
                        help="comma-separated node ids")
     query.add_argument("--eta", required=True, type=float)
-    query.add_argument("--method", choices=("lb", "mc"), default="lb")
+    query.add_argument(
+        "--method", choices=available_methods(), default="lb"
+    )
     query.add_argument("--samples", type=int, default=1000)
     query.add_argument("--seed", type=int, default=0)
     query.add_argument(
@@ -146,7 +149,9 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--index", default=None)
     topk.add_argument("--sources", required=True, type=_parse_sources)
     topk.add_argument("-k", type=int, required=True)
-    topk.add_argument("--method", choices=("lb", "mc"), default="lb")
+    topk.add_argument(
+        "--method", choices=available_methods(), default="lb"
+    )
     topk.add_argument("--samples", type=int, default=1000)
     topk.add_argument("--seed", type=int, default=0)
     topk.add_argument(
@@ -241,7 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--concurrency", type=int, default=8,
                              help="client threads issuing queries")
     bench_serve.add_argument("--eta", type=float, default=0.5)
-    bench_serve.add_argument("--method", choices=("lb", "lb+", "mc"),
+    bench_serve.add_argument("--method", choices=available_methods(),
                              default="mc")
     bench_serve.add_argument("--samples", type=int, default=1000)
     bench_serve.add_argument("--seed", type=int, default=0)
@@ -283,7 +288,9 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--source", type=int, required=True)
     detect.add_argument("--target", type=int, required=True)
     detect.add_argument("--tolerance", type=float, default=0.05)
-    detect.add_argument("--method", choices=("lb", "mc"), default="mc")
+    detect.add_argument(
+        "--method", choices=available_methods(), default="mc"
+    )
     detect.add_argument("--samples", type=int, default=1000)
     detect.add_argument("--seed", type=int, default=0)
     detect.add_argument(
@@ -461,6 +468,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         ("height ratio", result.height_ratio),
         ("candidate ratio", result.candidate_ratio),
         ("query time (s)", elapsed),
+        ("estimator", result.estimator or args.method),
     ]
     if budget is not None:
         rows += [
@@ -476,6 +484,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
     )
     print("nodes:", " ".join(str(n) for n in sorted(result.nodes)))
+    if args.method == "auto" and result.planner_reason:
+        print(f"planner: {result.planner_reason}")
     if result.degraded:
         # Deadline-expired queries are a *successful* degraded answer:
         # exit 0, but mark the output unmistakably.

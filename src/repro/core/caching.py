@@ -8,11 +8,13 @@ read-only at query time, so answers are safely memoizable until the
 graph changes.
 
 :class:`CachingRQTreeEngine` wraps any engine with an LRU cache keyed on
-the full query signature.  Deterministic queries (``method="lb"``, or
-``method="mc"`` with an explicit seed) are cached; unseeded MC queries
-bypass the cache because their answers are intentionally non-
-deterministic.  Mutating the graph must be followed by
-:meth:`invalidate`.
+the full query signature.  Cacheability is decided by the estimator
+registry (:func:`repro.estimators.is_cacheable`): deterministic
+estimators (``lb``, ``lb+``, ``exact``) are always cacheable, sampling
+estimators (and ``auto``, which may pick one) only under an explicit
+seed.  Unseeded sampling queries bypass the cache because their answers
+are intentionally non-deterministic.  Mutating the graph must be
+followed by :meth:`invalidate`.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
+from ..estimators import is_cacheable
 from .engine import QueryResult, RQTreeEngine
 
 __all__ = ["CacheStats", "CachingRQTreeEngine"]
@@ -124,7 +127,7 @@ class CachingRQTreeEngine:
             (sources,) if isinstance(sources, int)
             else tuple(sorted(set(sources)))
         )
-        cacheable = method == "lb" or seed is not None
+        cacheable = is_cacheable(method, seed)
         if not cacheable:
             self.stats.bypasses += 1
             return self._engine.query(

@@ -23,11 +23,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import EmptySourceSetError, NodeNotFoundError
-from ..graph.paths import (
-    hop_bounded_path_probabilities,
-    most_likely_path_probabilities,
-)
-from ..graph.sampling import ReachabilityFrequencyEstimator
 from .engine import RQTreeEngine
 
 __all__ = [
@@ -127,58 +122,48 @@ def reliability_scores(
 ) -> Dict[int, float]:
     """Per-node reliability scores over the candidate set at *eta*.
 
-    Runs candidate generation once, then scores every candidate:
+    Runs candidate generation once, then scores every candidate with
+    the chosen estimator (any registered ``method``, or ``"auto"`` to
+    let the engine's planner pick): the score is the estimator's
+    per-node estimate — a certified lower bound for ``lb``/``lb+``, a
+    sampled frequency for the sampling estimators, the true subgraph
+    reliability for ``exact``.
 
-    * ``method="lb"`` — the most-likely-path probability ``L_R(S, t)``
-      (a certified lower bound on ``R(S, t)``);
-    * ``method="mc"`` — the sampled reachability frequency on the
-      candidate-induced subgraph (an unbiased estimate up to candidate
-      restriction).
-
-    Scores below *eta* are filtered, matching query semantics; sources
-    score 1.0.
+    Scores of candidates the estimator did not confirm at *eta* are
+    filtered, matching query semantics; sources score 1.0.  Unknown
+    methods raise :class:`repro.errors.InvalidMethodError`.
     """
+    from ..estimators import AUTO, EstimateRequest, get_estimator, validate_method
+    from ..resilience.budget import CONFIRMED
+
     source_list = (
         [sources] if isinstance(sources, int) else list(dict.fromkeys(sources))
     )
     if not source_list:
         raise EmptySourceSetError()
+    validate_method(method, max_hops=max_hops)
     candidate_result = engine.candidates(source_list, eta)
-    candidates = candidate_result.candidates
-    present_sources = set(source_list) & candidates
-    if method == "lb":
-        if max_hops is None:
-            scores = most_likely_path_probabilities(
-                engine.graph,
-                present_sources,
-                allowed=candidates,
-                min_probability=eta,
-            )
-        else:
-            scores = hop_bounded_path_probabilities(
-                engine.graph,
-                present_sources,
-                max_hops,
-                allowed=candidates,
-                min_probability=eta,
-            )
-    elif method == "mc":
-        estimator = ReachabilityFrequencyEstimator(
-            engine.graph,
-            sorted(present_sources),
-            seed=seed,
-            allowed=candidates,
-            max_hops=max_hops,
-            backend=backend,
-        )
-        estimator.run(num_samples)
-        scores = {
-            node: freq
-            for node, freq in estimator.frequencies().items()
-            if freq >= eta
-        }
+    request = EstimateRequest(
+        graph=engine.graph,
+        sources=source_list,
+        eta=eta,
+        candidates=candidate_result.candidates,
+        num_samples=num_samples,
+        seed=seed,
+        max_hops=max_hops,
+        backend=backend,
+        config=engine.planner.config,
+    )
+    if method == AUTO:
+        name = engine.planner.plan(request).estimator
     else:
-        raise ValueError(f"unknown method {method!r}; expected 'lb' or 'mc'")
+        name = method
+    report = get_estimator(name).estimate(request)
+    scores = {
+        node: report.estimates.get(node, eta)
+        for node, status in report.statuses.items()
+        if status == CONFIRMED
+    }
     for s in source_list:
         scores[s] = 1.0
     return scores

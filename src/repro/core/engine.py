@@ -23,24 +23,21 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Union
 
 from ..errors import EmptySourceSetError
-from ..graph.uncertain import UncertainGraph
-from ..resilience.budget import (
-    CONFIRMED,
-    REJECTED,
-    UNVERIFIED,
-    BudgetClock,
-    QueryBudget,
+from ..estimators import (
+    AUTO,
+    EstimateRequest,
+    PlanDecision,
+    PortfolioConfig,
+    QueryPlanner,
+    get_estimator,
+    validate_method,
 )
+from ..graph.uncertain import UncertainGraph
+from ..resilience.budget import UNVERIFIED, QueryBudget
 from .builder import BuildReport, build_rqtree
 from .bounds_cache import ClusterBoundsCache
 from .candidates import CandidateResult, generate_candidates
 from .rqtree import RQTree
-from .verification import (
-    VerificationReport,
-    verify_lower_bound_packing,
-    verify_lower_bound_report,
-    verify_sampling_report,
-)
 
 __all__ = ["QueryResult", "RQTreeEngine"]
 
@@ -98,6 +95,22 @@ class QueryResult:
     #: supervision only; see :mod:`repro.shard.supervisor`).  Non-zero
     #: means the query survived a worker crash without degrading.
     shards_recovered: int = 0
+
+    #: The estimator that actually verified the batch.  Equals
+    #: ``method`` for explicit methods unless the estimator fell back
+    #: (e.g. ``exact`` past its treewidth cap runs seeded ``mc``);
+    #: for ``method="auto"`` it is the planner's choice.
+    estimator: str = ""
+
+    #: Why this estimator ran: the planner's decision rationale for
+    #: ``auto``, an "explicit method" note otherwise, with any fallback
+    #: annotation appended.
+    planner_reason: Optional[str] = None
+
+    #: Per-node reliability estimates / bounds where the estimator
+    #: produces them (frequencies for samplers, path bounds for lb,
+    #: exact values for exact); empty otherwise.
+    estimates: Dict[int, float] = field(default_factory=dict)
 
     @property
     def unverified(self) -> Set[int]:
@@ -171,6 +184,7 @@ class RQTreeEngine:
         tree: RQTree,
         build_report: Optional[BuildReport] = None,
         flow_engine: str = "dinic",
+        planner_config: Optional[PortfolioConfig] = None,
     ) -> None:
         if tree.num_graph_nodes != graph.num_nodes:
             raise ValueError(
@@ -185,6 +199,10 @@ class RQTreeEngine:
         # Callers that mutate the graph must invalidate it (the dynamic
         # engine does so automatically).
         self.bounds_cache = ClusterBoundsCache()
+        #: Cost-based estimator selection for ``method="auto"``; its
+        #: config also caps the exact estimator for explicit
+        #: ``method="exact"`` queries.
+        self.planner = QueryPlanner(planner_config)
 
     @classmethod
     def build(
@@ -194,12 +212,19 @@ class RQTreeEngine:
         seed: int = 0,
         strategy: str = "multilevel",
         flow_engine: str = "dinic",
+        planner_config: Optional[PortfolioConfig] = None,
     ) -> "RQTreeEngine":
         """Construct the RQ-tree index for *graph* and wrap it."""
         tree, report = build_rqtree(
             graph, max_imbalance=max_imbalance, seed=seed, strategy=strategy
         )
-        return cls(graph, tree, build_report=report, flow_engine=flow_engine)
+        return cls(
+            graph,
+            tree,
+            build_report=report,
+            flow_engine=flow_engine,
+            planner_config=planner_config,
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -244,14 +269,20 @@ class RQTreeEngine:
         eta:
             Probability threshold in (0, 1).
         method:
-            ``"lb"`` for RQ-tree-LB (perfect precision), ``"lb+"`` for
-            the edge-packing variant (perfect precision, better recall,
-            a few extra Dijkstra runs; hop budgets unsupported), or
-            ``"mc"`` for RQ-tree-MC (best recall).
+            Any estimator in :func:`repro.estimators.available_methods`:
+            ``"lb"`` (RQ-tree-LB, perfect precision), ``"lb+"`` (edge
+            packing: perfect precision, better recall; hop budgets
+            unsupported), ``"mc"`` (chunked Monte-Carlo), ``"rss"``
+            (recursive stratified sampling), ``"lazy"`` (lazy
+            BFS-sharing batch sampling), ``"exact"`` (treewidth-gated
+            exact answers, deterministic sampling fallback past the
+            cap), or ``"auto"`` — the cost-based
+            :class:`~repro.estimators.QueryPlanner` picks per batch.
         num_samples:
-            Worlds sampled by the MC verifier (ignored for ``"lb"``).
+            Worlds sampled by the sampling estimators (ignored for
+            ``"lb"``/``"lb+"``/``"exact"``).
         seed:
-            Seed for the MC verifier (ignored for ``"lb"``).
+            Seed for the sampling estimators (ignored for ``"lb"``).
         multi_source_mode:
             ``"greedy"`` (Section 4.3 heuristic) or ``"exact"``
             (Problem 2 Pareto DP); ignored for single-source queries.
@@ -284,6 +315,7 @@ class RQTreeEngine:
             non-sampling methods and on the pure-python path.
         """
         source_list = self._normalize_sources(sources)
+        validate_method(method, max_hops=max_hops)
         clock = budget.start() if budget is not None else None
         start = time.perf_counter()
         candidate_result = generate_candidates(
@@ -299,42 +331,35 @@ class RQTreeEngine:
         candidate_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        if method == "lb":
-            report = verify_lower_bound_report(
-                self.graph,
-                source_list,
-                eta,
-                candidate_result.candidates,
-                max_hops=max_hops,
-                budget=clock,
-            )
-        elif method == "lb+":
-            if max_hops is not None:
-                raise ValueError(
-                    "max_hops is not supported with method='lb+'; "
-                    "use 'lb' or 'mc'"
-                )
-            report = self._packing_report(
-                source_list, eta, candidate_result.candidates, clock
-            )
-        elif method == "mc":
-            report = verify_sampling_report(
-                self.graph,
-                source_list,
-                eta,
-                candidate_result.candidates,
-                num_samples=num_samples,
-                seed=seed,
-                max_hops=max_hops,
-                backend=backend,
-                budget=clock,
-                coin_source=coin_source,
-            )
+        request = EstimateRequest(
+            graph=self.graph,
+            sources=source_list,
+            eta=eta,
+            candidates=candidate_result.candidates,
+            num_samples=num_samples,
+            seed=seed,
+            max_hops=max_hops,
+            backend=backend,
+            clock=clock,
+            coin_source=coin_source,
+            config=self.planner.config,
+        )
+        if method == AUTO:
+            decision = self.planner.plan(request)
         else:
-            raise ValueError(
-                f"unknown method {method!r}; expected 'lb', 'lb+' or 'mc'"
+            decision = PlanDecision(
+                estimator=method, reason=f"explicit method {method!r}"
             )
+        report = get_estimator(decision.estimator).estimate(request)
         verification_seconds = time.perf_counter() - start
+        if method == AUTO:
+            self.planner.record_outcome(decision, verification_seconds)
+        estimator_used = report.estimator or decision.estimator
+        planner_reason = (
+            f"{decision.reason}; {report.notes}"
+            if report.notes
+            else decision.reason
+        )
 
         min_depth = min(
             (
@@ -346,7 +371,11 @@ class RQTreeEngine:
         degraded = candidate_result.degraded or report.degraded
         degraded_reason = candidate_result.degraded_reason or report.degraded_reason
         self._record_query_metrics(
-            method, candidate_seconds, verification_seconds, degraded
+            method,
+            estimator_used,
+            candidate_seconds,
+            verification_seconds,
+            degraded,
         )
         return QueryResult(
             nodes=report.kept,
@@ -365,48 +394,15 @@ class RQTreeEngine:
             worlds_used=report.worlds_used,
             achieved_confidence=report.achieved_confidence,
             backend_fallbacks=report.backend_fallbacks,
-        )
-
-    def _packing_report(
-        self,
-        source_list: List[int],
-        eta: float,
-        candidates: Set[int],
-        clock: Optional[BudgetClock],
-    ) -> VerificationReport:
-        """Budget shim for the edge-packing verifier.
-
-        The packing pass is a per-candidate Dijkstra loop with no
-        incremental result to salvage, so the deadline is honoured at
-        phase granularity: an already-expired clock skips the pass and
-        reports every non-source candidate unverified.
-        """
-        source_set = set(source_list)
-        if clock is not None and clock.expired():
-            statuses = {
-                node: (CONFIRMED if node in source_set else UNVERIFIED)
-                for node in candidates
-            }
-            return VerificationReport(
-                kept={n for n, s in statuses.items() if s == CONFIRMED},
-                statuses=statuses,
-                degraded=True,
-                degraded_reason="deadline expired before verification",
-            )
-        answer = verify_lower_bound_packing(
-            self.graph, source_list, eta, candidates
-        )
-        return VerificationReport(
-            kept=answer,
-            statuses={
-                node: (CONFIRMED if node in answer else REJECTED)
-                for node in candidates
-            },
+            estimator=estimator_used,
+            planner_reason=planner_reason,
+            estimates=report.estimates,
         )
 
     @staticmethod
     def _record_query_metrics(
         method: str,
+        estimator_used: str,
         candidate_seconds: float,
         verification_seconds: float,
         degraded: bool,
@@ -421,6 +417,11 @@ class RQTreeEngine:
             registry.counter("engine.degraded").inc()
         registry.histogram("engine.filter_seconds").observe(candidate_seconds)
         registry.histogram("engine.verify_seconds").observe(
+            verification_seconds
+        )
+        # Per-estimator latency: keyed by what actually ran, so a
+        # treewidth-cap fallback shows up under "mc", not "exact".
+        registry.histogram(f"estimator.{estimator_used}.seconds").observe(
             verification_seconds
         )
 

@@ -49,6 +49,7 @@ __all__ = [
     "verify_lower_bound",
     "verify_lower_bound_report",
     "verify_lower_bound_packing",
+    "packing_bounds",
     "verify_sampling",
     "verify_sampling_report",
 ]
@@ -106,6 +107,13 @@ class VerificationReport:
     backend_fallbacks:
         Numpy-kernel batches that were retried on the Python reference
         path (see :mod:`repro.accel`).
+    estimates:
+        Optional per-node reliability point estimates or certified
+        lower bounds (estimator-dependent; empty when the verifier does
+        not produce them).  MC-style verifiers report observed
+        frequencies, the lower-bound pass reports path-probability
+        bounds for nodes above the cutoff, and the exact estimator
+        reports exact subgraph reliabilities.
     """
 
     kept: Set[int]
@@ -114,6 +122,15 @@ class VerificationReport:
     degraded_reason: Optional[str] = None
     worlds_used: int = 0
     backend_fallbacks: int = 0
+    estimates: Dict[int, float] = field(default_factory=dict)
+    #: Name of the estimator that actually produced this report (set by
+    #: the :mod:`repro.estimators` layer; ``""`` when a verifier was
+    #: called directly).  Differs from the requested method when an
+    #: estimator fell back — see ``notes``.
+    estimator: str = ""
+    #: Free-form annotation of non-degrading events (e.g. the exact
+    #: estimator's treewidth-cap fallback to sampling).
+    notes: Optional[str] = None
 
     @property
     def unverified(self) -> Set[int]:
@@ -278,6 +295,7 @@ def verify_lower_bound_report(
             "candidate-subgraph cap left candidates unverified"
             if dropped else None
         ),
+        estimates=dict(probabilities),
     )
 
 
@@ -310,6 +328,26 @@ def verify_lower_bound_packing(
     (nodes already certified by the bulk single-path pass are skipped),
     all restricted to the candidate subgraph.
     """
+    kept, _ = packing_bounds(graph, sources, eta, candidates, max_paths)
+    return kept
+
+
+def packing_bounds(
+    graph: UncertainGraph,
+    sources: Sequence[int],
+    eta: float,
+    candidates: Set[int],
+    max_paths: int = 3,
+) -> Tuple[Set[int], Dict[int, float]]:
+    """Packing verification plus the per-node certified lower bounds.
+
+    Same algorithm as :func:`verify_lower_bound_packing`; additionally
+    returns the best certified bound computed for each candidate (the
+    single-path probability, improved to the packing bound wherever the
+    packing pass ran).  Skipped candidates keep their single-path value
+    — still a valid lower bound, just not the tightest one the packing
+    could prove.
+    """
     source_set = _check(eta, sources)
     if max_paths < 1:
         raise ValueError(f"max_paths must be >= 1, got {max_paths}")
@@ -320,9 +358,10 @@ def verify_lower_bound_packing(
     single = most_likely_path_probabilities(
         graph, present_sources, allowed=candidates
     )
+    bounds = {t: single.get(t, 0.0) for t in candidates}
     kept = {t for t, p in single.items() if p >= threshold}
     if max_paths == 1:
-        return kept
+        return kept, bounds
     for t in sorted(candidates - kept):
         best = single.get(t, 0.0)
         if best <= 0.0:
@@ -349,9 +388,10 @@ def verify_lower_bound_packing(
             if 1.0 - failure >= threshold:
                 break
             banned.update(zip(path, path[1:]))
+        bounds[t] = max(bounds[t], 1.0 - failure)
         if 1.0 - failure >= threshold:
             kept.add(t)
-    return kept
+    return kept, bounds
 
 
 def verify_sampling(
@@ -458,6 +498,7 @@ def verify_sampling_report(
             statuses=statuses,
             worlds_used=num_samples,
             backend_fallbacks=estimator.fallbacks,
+            estimates=estimator.frequencies(),
         )
 
     target = num_samples
@@ -519,4 +560,5 @@ def verify_sampling_report(
         degraded_reason=degraded_reason,
         worlds_used=done,
         backend_fallbacks=estimator.fallbacks,
+        estimates=estimator.frequencies() if done > 0 else {},
     )

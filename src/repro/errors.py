@@ -68,6 +68,38 @@ class EmptySourceSetError(ReproError, ValueError):
         super().__init__("the source set S of a query must be non-empty")
 
 
+class InvalidMethodError(ReproError, ValueError):
+    """A query named a verification method the estimator registry does
+    not know, or combined a method with a feature it does not support.
+
+    Every surface that accepts ``method=`` (``engine.query``, the
+    detection helpers, the sharded gateway, the serving layer, the CLI)
+    raises this same error with the same accepted set, sourced from
+    :func:`repro.estimators.available_methods` — no more drifting ad-hoc
+    ``ValueError`` lists.  Derives from :class:`ValueError` so existing
+    ``except ValueError`` callers keep working.
+    """
+
+    def __init__(
+        self,
+        method: object,
+        accepted: object = (),
+        feature: object = None,
+    ) -> None:
+        self.method = method
+        self.accepted = tuple(accepted)
+        self.feature = feature
+        expected = ", ".join(repr(name) for name in self.accepted)
+        if feature is None:
+            message = f"unknown method {method!r}; expected one of {expected}"
+        else:
+            message = (
+                f"method {method!r} does not support {feature}; "
+                f"methods that do: {expected}"
+            )
+        super().__init__(message)
+
+
 class IndexCorruptionError(ReproError):
     """An RQ-tree index failed an internal consistency check.
 

@@ -1,0 +1,126 @@
+"""The estimator registry — one authoritative name→strategy map.
+
+Every ``method=`` surface (engine, detection helpers, serving layer,
+sharded gateway, CLI) resolves names here, so the accepted set and its
+error message can never drift between layers again
+(:class:`repro.errors.InvalidMethodError` carries the registry's list).
+
+``"auto"`` is a pseudo-method handled by the
+:class:`~repro.estimators.planner.QueryPlanner`, not an estimator; it
+appears in :func:`available_methods` because it is a valid ``method=``
+value everywhere.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..errors import InvalidMethodError
+from .base import Estimator
+
+__all__ = [
+    "AUTO",
+    "register",
+    "get_estimator",
+    "available_methods",
+    "sampling_methods",
+    "methods_supporting_max_hops",
+    "validate_method",
+    "is_cacheable",
+]
+
+#: The planner pseudo-method.
+AUTO = "auto"
+
+_REGISTRY: "OrderedDict[str, Estimator]" = OrderedDict()
+
+
+def register(estimator: Estimator) -> Estimator:
+    """Add (or replace) an estimator under its ``name``."""
+    if not estimator.name:
+        raise ValueError("estimator must define a non-empty name")
+    _REGISTRY[estimator.name] = estimator
+    return estimator
+
+
+def available_methods(include_auto: bool = True) -> Tuple[str, ...]:
+    """Every accepted ``method=`` value, in registration order."""
+    names = tuple(_REGISTRY)
+    return ((AUTO,) + names) if include_auto else names
+
+
+def sampling_methods() -> Tuple[str, ...]:
+    """Registered estimators that consume sampled worlds."""
+    return tuple(
+        name for name, est in _REGISTRY.items() if est.samples_worlds
+    )
+
+
+def methods_supporting_max_hops(include_auto: bool = True) -> Tuple[str, ...]:
+    """Methods accepting the distance-constrained variant.  ``"auto"``
+    qualifies: the planner restricts itself to supporting estimators."""
+    names = tuple(
+        name for name, est in _REGISTRY.items() if est.supports_max_hops
+    )
+    return ((AUTO,) + names) if include_auto else names
+
+
+def get_estimator(name: str) -> Estimator:
+    """Look up a registered estimator, or raise the typed error."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidMethodError(name, available_methods()) from None
+
+
+def validate_method(method: str, max_hops: Optional[int] = None) -> None:
+    """Shared front-door validation for every ``method=`` surface.
+
+    Raises :class:`~repro.errors.InvalidMethodError` for unknown names
+    and for method/feature combinations the chosen estimator rejects
+    (currently ``max_hops``).
+    """
+    if method == AUTO:
+        return
+    estimator = get_estimator(method)
+    if max_hops is not None and not estimator.supports_max_hops:
+        raise InvalidMethodError(
+            method, methods_supporting_max_hops(), feature="max_hops"
+        )
+
+
+def is_cacheable(method: str, seed: Optional[int]) -> bool:
+    """Whether two identical queries are guaranteed identical answers.
+
+    Deterministic estimators (``lb`` / ``lb+`` / ``exact`` — no random
+    stream at all) are always cacheable; sampling estimators only under
+    an explicit seed.  ``"auto"`` requires a seed: the *decision* is
+    deterministic, but the chosen estimator may sample.  Unknown
+    methods are simply not cacheable — the engine raises on them
+    downstream.
+    """
+    if method == AUTO:
+        return seed is not None
+    estimator = _REGISTRY.get(method)
+    if estimator is None:
+        return False
+    return estimator.is_deterministic(seed)
+
+
+def _register_defaults() -> None:
+    from .bounds import LowerBoundEstimator, PackingEstimator
+    from .exactdp import ExactEstimator
+    from .lazy import LazySharingEstimator
+    from .montecarlo import MonteCarloEstimator
+    from .rss import RecursiveStratifiedEstimator
+
+    register(LowerBoundEstimator())
+    register(PackingEstimator())
+    register(MonteCarloEstimator())
+    register(RecursiveStratifiedEstimator())
+    register(LazySharingEstimator())
+    register(ExactEstimator())
+
+
+_register_defaults()

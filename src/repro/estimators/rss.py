@@ -1,0 +1,219 @@
+"""Recursive stratified sampling estimator (``method="rss"``).
+
+Classic variance reduction for network reliability (Fishman; surveyed
+by "An In-Depth Comparison of s-t Reliability Algorithms over Uncertain
+Graphs", PAPERS.md): pick the ``r`` highest-variance arcs of the
+candidate subgraph as *pivots*, partition the possible-world space into
+the ``2^r`` strata fixing each pivot present/absent, and sample each
+stratum *conditionally* — pivot arcs forced present become certain
+(``p = 1``), forced absent are removed — with the world budget
+allocated proportionally to the stratum weights
+``w_s = prod(p_i or 1-p_i)``.
+
+The combined estimator ``R(t) = sum_s w_s * freq_s(t)`` is unbiased
+(law of total probability) and has strictly lower variance than crude
+MC whenever the pivots carry real variance: within each stratum the
+pivot coins no longer contribute any.
+
+Per-stratum streams are seeded through :func:`repro.seeding.derive_seed`
+(``derive_seed(seed, "estimators.rss", stratum_index)``) so the whole
+estimate is deterministic per seed, independent of stratum execution
+order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..core.verification import (
+    _ETA_SLACK,
+    VerificationReport,
+    _check,
+    _verification_subset,
+)
+from ..graph.sampling import ReachabilityFrequencyEstimator
+from ..graph.uncertain import UncertainGraph
+from ..resilience.budget import CONFIRMED, REJECTED, UNVERIFIED
+from ..seeding import derive_seed
+from .base import EstimateRequest, Estimator, expired_report
+from .montecarlo import predicted_sampling_seconds
+from .stats import SubgraphStats
+
+__all__ = ["RecursiveStratifiedEstimator"]
+
+
+def _allocate(total: int, weights: List[float]) -> List[int]:
+    """Deterministic largest-remainder allocation of *total* worlds.
+
+    Every positive-weight stratum gets at least one world (a stratum
+    with zero samples would bias the combined estimate by its full
+    weight).
+    """
+    shares = [total * w for w in weights]
+    counts = [int(share) for share in shares]
+    leftovers = sorted(
+        range(len(weights)),
+        key=lambda i: (-(shares[i] - counts[i]), i),
+    )
+    missing = total - sum(counts)
+    for i in leftovers[:missing]:
+        counts[i] += 1
+    return [max(1, c) if w > 0.0 else 0 for c, w in zip(counts, weights)]
+
+
+class RecursiveStratifiedEstimator(Estimator):
+    """Stratified possible-world sampling over high-variance pivot arcs."""
+
+    name = "rss"
+    samples_worlds = True
+    supports_max_hops = True
+
+    def cost(self, stats: SubgraphStats, request: EstimateRequest) -> float:
+        strata = 2 ** min(request.config.rss_pivots, 8)
+        # Sampling work matches plain MC plus per-stratum subgraph
+        # builds and estimator setup.
+        overhead = strata * (3e-6 * (stats.num_arcs + 1) + 3e-5)
+        return predicted_sampling_seconds(stats, request) * 1.05 + overhead
+
+    def estimate(self, request: EstimateRequest) -> VerificationReport:
+        source_set = _check(request.eta, request.sources)
+        if request.num_samples <= 0:
+            raise ValueError(
+                f"num_samples must be positive, got {request.num_samples}"
+            )
+        clock = request.clock
+        if clock is not None and clock.expired():
+            report = expired_report(
+                request.sources,
+                request.candidates,
+                "deadline expired before verification",
+            )
+            report.estimator = self.name
+            return report
+        subset, dropped = _verification_subset(
+            source_set, request.candidates, clock
+        )
+        statuses: Dict[int, str] = {node: UNVERIFIED for node in dropped}
+        present_sources = sorted(source_set & subset)
+        cutoff = request.eta * (1.0 - _ETA_SLACK)
+
+        sub, relabel = request.graph.subgraph(subset).materialize()
+        sub_sources = sorted(relabel[s] for s in present_sources)
+        arcs = list(sub.arcs())
+        # Pivots: highest-variance arcs, deterministic tie-break.
+        by_variance = sorted(
+            (a for a in arcs if 0.0 < a[2] < 1.0),
+            key=lambda a: (-(a[2] * (1.0 - a[2])), a[0], a[1]),
+        )
+        pivots = by_variance[: max(0, request.config.rss_pivots)]
+        pivot_keys = {(u, v) for u, v, _ in pivots}
+
+        worlds = request.num_samples
+        if clock is not None and clock.budget.max_worlds is not None:
+            worlds = min(worlds, clock.budget.max_worlds)
+
+        assignments = list(
+            itertools.product((True, False), repeat=len(pivots))
+        )
+        weights = []
+        for assignment in assignments:
+            w = 1.0
+            for (u, v, p), present in zip(pivots, assignment):
+                w *= p if present else (1.0 - p)
+            weights.append(w)
+        allocation = _allocate(worlds, weights)
+
+        totals: Dict[int, float] = {}
+        processed_weight = 0.0
+        worlds_used = 0
+        fallbacks = 0
+        degraded_reason: Optional[str] = None
+        for index, (assignment, weight, quota) in enumerate(
+            zip(assignments, weights, allocation)
+        ):
+            if quota <= 0:
+                continue
+            if index > 0 and clock is not None and clock.expired():
+                degraded_reason = (
+                    "deadline expired during stratified sampling "
+                    f"({index}/{len(assignments)} strata)"
+                )
+                break
+            stratum = self._stratum_graph(sub, arcs, pivot_keys,
+                                          pivots, assignment)
+            child_seed = (
+                None
+                if request.seed is None
+                else derive_seed(request.seed, "estimators.rss", index)
+            )
+            estimator = ReachabilityFrequencyEstimator(
+                stratum,
+                sub_sources,
+                seed=child_seed,
+                max_hops=request.max_hops,
+                backend=request.backend,
+            )
+            estimator.run(quota)
+            fallbacks += estimator.fallbacks
+            worlds_used += quota
+            for node, count in estimator.counts().items():
+                totals[node] = totals.get(node, 0.0) + weight * count / quota
+            processed_weight += weight
+
+        estimates: Dict[int, float] = {}
+        if processed_weight > 0.0:
+            inverse = {new: old for old, new in relabel.items()}
+            for node, value in totals.items():
+                estimates[inverse[node]] = value / processed_weight
+        for node in subset:
+            if processed_weight <= 0.0:
+                statuses[node] = (
+                    CONFIRMED if node in source_set else UNVERIFIED
+                )
+            else:
+                statuses[node] = (
+                    CONFIRMED
+                    if estimates.get(node, 0.0) >= cutoff
+                    else REJECTED
+                )
+        for node in present_sources:
+            statuses[node] = CONFIRMED
+        if dropped and degraded_reason is None:
+            degraded_reason = (
+                "candidate-subgraph cap left candidates unverified"
+            )
+        report = VerificationReport(
+            kept={n for n, s in statuses.items() if s == CONFIRMED},
+            statuses=statuses,
+            degraded=degraded_reason is not None,
+            degraded_reason=degraded_reason,
+            worlds_used=worlds_used,
+            backend_fallbacks=fallbacks,
+            estimates=estimates,
+        )
+        report.estimator = self.name
+        return report
+
+    @staticmethod
+    def _stratum_graph(
+        sub: UncertainGraph,
+        arcs: List[Tuple[int, int, float]],
+        pivot_keys,
+        pivots,
+        assignment,
+    ) -> UncertainGraph:
+        """The conditional subgraph of one stratum: forced-present pivots
+        become certain arcs, forced-absent pivots disappear."""
+        forced = {
+            (u, v): present
+            for (u, v, _), present in zip(pivots, assignment)
+        }
+        stratum = UncertainGraph(sub.num_nodes)
+        for u, v, p in arcs:
+            if (u, v) in forced:
+                if forced[(u, v)]:
+                    stratum.add_arc(u, v, 1.0)
+            else:
+                stratum.add_arc(u, v, p)
+        return stratum

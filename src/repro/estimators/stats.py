@@ -1,0 +1,209 @@
+"""Candidate-subgraph statistics and treewidth estimation.
+
+The planner's decisions are driven by cheap, deterministic statistics of
+the candidate-induced subgraph: node/arc counts, density, how
+concentrated the arc-probability variance is (RSS pays off when a few
+arcs dominate), and a greedy upper bound on treewidth (the exact path is
+feasible exactly when this is small).
+
+Treewidth is estimated by greedy elimination — eliminate vertices one at
+a time, connecting the neighbours of each eliminated vertex into a
+clique; the width of the ordering is the largest neighbourhood size at
+elimination time, and any ordering's width upper-bounds the true
+treewidth.  Two classic orderings are tried: **min-degree** (always) and
+**min-fill** (on small subgraphs; better widths, costlier to compute),
+and the smaller width wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..graph.uncertain import UncertainGraph
+
+__all__ = [
+    "SubgraphStats",
+    "collect_stats",
+    "treewidth_upper_bound",
+    "elimination_order",
+]
+
+
+@dataclass(frozen=True)
+class SubgraphStats:
+    """Deterministic summary of one candidate-induced subgraph."""
+
+    num_nodes: int
+    num_arcs: int
+    #: Arc count over the maximum possible (directed, no self-loops).
+    density: float
+    #: Share of total arc-probability variance carried by the top
+    #: ``rss_pivots`` arcs (0.0 when there are no arcs).
+    variance_concentration: float
+    #: Greedy-elimination treewidth upper bound, or ``None`` when the
+    #: subgraph exceeded the probe caps (too big for exact anyway).
+    treewidth_estimate: Optional[int]
+    #: Sources present in the candidate set.
+    sources_in_candidates: int
+    #: Budget context at planning time (``None`` = unbudgeted).
+    remaining_seconds: Optional[float] = None
+    max_worlds: Optional[int] = None
+
+
+def _undirected_adjacency(
+    graph: UncertainGraph, members: Set[int]
+) -> Dict[int, Set[int]]:
+    """Undirected view of the induced subgraph (treewidth ignores
+    direction)."""
+    adjacency: Dict[int, Set[int]] = {node: set() for node in members}
+    for u in members:
+        for v in graph.successors(u):
+            if v in members and v != u:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+    return adjacency
+
+
+def _eliminate(
+    adjacency: Dict[int, Set[int]], use_min_fill: bool, abort_above: int
+) -> Tuple[int, list]:
+    """Width and vertex order of one greedy elimination.
+
+    Mutates a private copy of *adjacency*.  Width is monotone
+    non-decreasing in the running maximum, so the search aborts as soon
+    as it exceeds *abort_above* (returning ``abort_above + 1`` and the
+    partial order) — width callers only care whether the bound beats
+    their cap.
+    """
+    adj = {node: set(neighbours) for node, neighbours in adjacency.items()}
+    width = 0
+    order: list = []
+    while adj:
+        best_node = None
+        best_key: Tuple[int, int] = (0, 0)
+        for node in sorted(adj):
+            degree = len(adj[node])
+            if use_min_fill:
+                neighbours = adj[node]
+                fill = sum(
+                    1
+                    for a in neighbours
+                    for b in neighbours
+                    if a < b and b not in adj[a]
+                )
+                key = (fill, degree)
+            else:
+                key = (degree, 0)
+            if best_node is None or key < best_key:
+                best_node, best_key = node, key
+        neighbours = adj.pop(best_node)
+        order.append(best_node)
+        width = max(width, len(neighbours))
+        if width > abort_above:
+            return abort_above + 1, order
+        for a in neighbours:
+            adj[a].discard(best_node)
+            for b in neighbours:
+                if a != b:
+                    adj[a].add(b)
+    return width, order
+
+
+def treewidth_upper_bound(
+    graph: UncertainGraph,
+    members: Iterable[int],
+    abort_above: int = 64,
+    min_fill_node_cap: int = 64,
+) -> int:
+    """Greedy treewidth upper bound of the induced undirected subgraph.
+
+    Returns ``min(min-degree width, min-fill width)``; min-fill is only
+    attempted when the subgraph has at most *min_fill_node_cap* nodes.
+    A return value of ``abort_above + 1`` means "exceeds the cap" (both
+    orderings aborted early).
+    """
+    member_set = set(members)
+    if not member_set:
+        return 0
+    adjacency = _undirected_adjacency(graph, member_set)
+    width, _ = _eliminate(adjacency, use_min_fill=False,
+                          abort_above=abort_above)
+    if width > 0 and len(member_set) <= min_fill_node_cap:
+        fill_width, _ = _eliminate(adjacency, use_min_fill=True,
+                                   abort_above=abort_above)
+        width = min(width, fill_width)
+    return width
+
+
+def elimination_order(
+    graph: UncertainGraph, members: Iterable[int]
+) -> Tuple[int, list]:
+    """Min-degree elimination ``(width, vertex order)`` of the induced
+    undirected subgraph.
+
+    The exact estimator conditions on arcs in this order: arcs incident
+    to early-eliminated (low-degree) vertices are decided first, which
+    keeps the factoring recursion's undecided frontier as narrow as the
+    elimination width.
+    """
+    member_set = set(members)
+    if not member_set:
+        return 0, []
+    adjacency = _undirected_adjacency(graph, member_set)
+    return _eliminate(
+        adjacency, use_min_fill=False, abort_above=len(member_set) + 1
+    )
+
+
+def collect_stats(
+    graph: UncertainGraph,
+    candidates: Set[int],
+    sources: Iterable[int],
+    rss_pivots: int = 3,
+    probe_node_cap: int = 160,
+    probe_arc_cap: int = 420,
+    width_abort_above: int = 64,
+    min_fill_node_cap: int = 64,
+    remaining_seconds: Optional[float] = None,
+    max_worlds: Optional[int] = None,
+) -> SubgraphStats:
+    """Compute :class:`SubgraphStats` in one pass over the induced arcs.
+
+    The treewidth probe only runs when the subgraph fits the probe caps;
+    larger subgraphs report ``treewidth_estimate=None`` (the exact path
+    is off the table for them regardless).
+    """
+    n = len(candidates)
+    num_arcs = 0
+    variances = []
+    for u in candidates:
+        for v, p in graph.successors(u).items():
+            if v in candidates:
+                num_arcs += 1
+                variances.append(p * (1.0 - p))
+    density = num_arcs / (n * (n - 1)) if n > 1 else 0.0
+    total_variance = sum(variances)
+    if total_variance > 0.0 and rss_pivots > 0:
+        variances.sort(reverse=True)
+        concentration = sum(variances[:rss_pivots]) / total_variance
+    else:
+        concentration = 0.0
+    width: Optional[int] = None
+    if n <= probe_node_cap and num_arcs <= probe_arc_cap:
+        width = treewidth_upper_bound(
+            graph,
+            candidates,
+            abort_above=width_abort_above,
+            min_fill_node_cap=min_fill_node_cap,
+        )
+    return SubgraphStats(
+        num_nodes=n,
+        num_arcs=num_arcs,
+        density=density,
+        variance_concentration=concentration,
+        treewidth_estimate=width,
+        sources_in_candidates=len(set(sources) & candidates),
+        remaining_seconds=remaining_seconds,
+        max_worlds=max_worlds,
+    )

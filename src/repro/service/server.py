@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..core.caching import CachingRQTreeEngine
 from ..core.candidates import CandidateResult
 from ..core.engine import QueryResult, RQTreeEngine
+from ..estimators import is_cacheable, validate_method
 from ..resilience.budget import QueryBudget
 from ..shard.engine import ShardedRQTreeEngine
 from .batcher import BatchKey, WorldBatcher
@@ -278,12 +279,11 @@ class ReliabilityService:
         result instead.
         """
         source_list = RQTreeEngine._normalize_sources(sources)
+        validate_method(method, max_hops=max_hops)
         metrics = self._metrics()
         metrics.counter("service.submitted").inc()
 
-        cacheable = budget is None and (
-            method in ("lb", "lb+") or seed is not None
-        )
+        cacheable = budget is None and is_cacheable(method, seed)
         cache_key = (
             TTLResultCache.make_key(
                 self._engine.graph.version, source_list, eta, method,

@@ -40,15 +40,19 @@ def result_to_json(result: QueryResult) -> Dict[str, object]:
     """The wire form of a :class:`QueryResult` (JSON-able dict).
 
     The ``quality`` block is a stable contract: monitoring pipelines
-    alert off it, so its five keys are always present with these exact
+    alert off it, so its seven keys are always present with these exact
     names, whatever the method, backend, or failure history of the
-    query.  The same values also appear as legacy top-level fields.
+    query.  ``estimator`` is the estimator that actually ran (it can
+    differ from ``method`` under ``"auto"`` planning or the exact
+    estimator's fallback) and ``planner_reason`` says why.  The same
+    values also appear as legacy top-level fields.
     """
     return {
         "nodes": sorted(result.nodes),
         "eta": result.eta,
         "sources": list(result.sources),
         "method": result.method,
+        "estimator": result.estimator,
         "num_candidates": len(result.candidate_result.candidates),
         "candidate_seconds": result.candidate_seconds,
         "verification_seconds": result.verification_seconds,
@@ -66,6 +70,8 @@ def result_to_json(result: QueryResult) -> Dict[str, object]:
             "degraded": result.degraded,
             "degraded_reason": result.degraded_reason,
             "shards_recovered": result.shards_recovered,
+            "estimator": result.estimator,
+            "planner_reason": result.planner_reason,
         },
     }
 

@@ -60,9 +60,15 @@ from ..graph.paths import (
     most_likely_path_probabilities,
 )
 from ..graph.uncertain import UncertainGraph
-from ..core.verification import (
-    verify_lower_bound_packing,
-    verify_sampling_report,
+from ..core.verification import packing_bounds
+from ..estimators import (
+    AUTO,
+    EstimateRequest,
+    PortfolioConfig,
+    QueryPlanner,
+    get_estimator,
+    sampling_methods,
+    validate_method,
 )
 from ..resilience.budget import (
     CONFIRMED,
@@ -163,6 +169,7 @@ class ShardedRQTreeEngine:
         supervisor: Optional[ShardSupervisor] = None,
         retry_timeout_seconds: Optional[float] = None,
         hedge_after_seconds: Optional[float] = None,
+        planner_config: Optional[PortfolioConfig] = None,
     ) -> None:
         if plan.num_nodes != graph.num_nodes:
             raise ValueError(
@@ -186,6 +193,9 @@ class ShardedRQTreeEngine:
         self._segments = list(segments or [])
         self._supervisor = supervisor
         self._closed = False
+        #: Cost-based estimator selection for ``method="auto"``; also
+        #: caps the exact estimator on explicit ``method="exact"``.
+        self.planner = QueryPlanner(planner_config)
 
     # ------------------------------------------------------------------
     # Construction / lifecycle
@@ -208,6 +218,7 @@ class ShardedRQTreeEngine:
         supervisor_policy: Optional[SupervisorPolicy] = None,
         retry_timeout_seconds: Optional[float] = None,
         hedge_after_seconds: Optional[float] = None,
+        planner_config: Optional[PortfolioConfig] = None,
     ) -> "ShardedRQTreeEngine":
         """Plan the partition, then build one engine per shard.
 
@@ -290,6 +301,7 @@ class ShardedRQTreeEngine:
             supervisor=supervisor,
             retry_timeout_seconds=retry_timeout_seconds,
             hedge_after_seconds=hedge_after_seconds,
+            planner_config=planner_config,
         )
 
     @property
@@ -399,16 +411,10 @@ class ShardedRQTreeEngine:
                 raise NodeNotFoundError(node)
         if math.isnan(eta) or not 0.0 < eta < 1.0:
             raise InvalidThresholdError(eta, context="sharded query")
-        if method not in ("lb", "lb+", "mc"):
-            raise ValueError(
-                f"unknown method {method!r}; expected 'lb', 'lb+' or 'mc'"
-            )
-        if method == "lb+" and max_hops is not None:
-            raise ValueError(
-                "max_hops is not supported with method='lb+'; "
-                "use 'lb' or 'mc'"
-            )
-        if method == "mc" and num_samples <= 0:
+        validate_method(method, max_hops=max_hops)
+        if num_samples <= 0 and (
+            method == AUTO or method in sampling_methods()
+        ):
             raise ValueError(
                 f"num_samples must be positive, got {num_samples}"
             )
@@ -471,6 +477,9 @@ class ShardedRQTreeEngine:
             achieved_confidence=_achieved_confidence(refined["statuses"]),
             backend_fallbacks=refined["backend_fallbacks"],
             shards_recovered=gather["shards_recovered"],
+            estimator=refined.get("estimator") or method,
+            planner_reason=refined.get("planner_reason"),
+            estimates=refined.get("estimates") or {},
         )
 
     # ------------------------------------------------------------------
@@ -607,20 +616,19 @@ class ShardedRQTreeEngine:
                 node: (CONFIRMED if node in kept else UNVERIFIED)
                 for node in pool
             }
-            return {
-                "kept": kept,
-                "pool": pool,
-                "statuses": statuses,
-                "degraded": True,
-                "degraded_reason":
-                    "deadline expired before cross-shard refinement",
-                "worlds_used": 0,
-                "backend_fallbacks": 0,
-            }
+            return _refined(
+                kept, pool, statuses, degraded=True,
+                reason="deadline expired before cross-shard refinement",
+                estimator=method if method != AUTO else "",
+                planner_reason=(
+                    None if method == AUTO
+                    else f"explicit method {method!r}"
+                ),
+            )
 
         cutoff = eta * (1.0 - _ETA_SLACK)
         probe = cutoff
-        if method in ("lb+", "mc") and self.mc_refine_floor > 0.0:
+        if method != "lb" and self.mc_refine_floor > 0.0:
             probe = min(cutoff, eta * self.mc_refine_floor)
         if max_hops is not None:
             reachable = hop_bounded_path_probabilities(
@@ -641,7 +649,16 @@ class ShardedRQTreeEngine:
                 node: (CONFIRMED if node in kept else REJECTED)
                 for node in pool
             }
-            return _refined(kept, pool, statuses)
+            estimates = {
+                node: reachable.get(node, 0.0) for node in pool
+            }
+            for s in source_set:
+                estimates[s] = 1.0
+            return _refined(
+                kept, pool, statuses,
+                estimates=estimates, estimator="lb",
+                planner_reason=f"explicit method {method!r}",
+            )
 
         if method == "lb+":
             pool = candidates | set(reachable) | certified | source_set
@@ -654,8 +671,10 @@ class ShardedRQTreeEngine:
                 return _refined(
                     kept, pool, statuses, degraded=True,
                     reason="deadline expired before packing verification",
+                    estimator="lb+",
+                    planner_reason=f"explicit method {method!r}",
                 )
-            kept = verify_lower_bound_packing(
+            kept, bounds = packing_bounds(
                 self.graph, source_list, eta, pool
             )
             kept |= certified | confirmed
@@ -663,26 +682,83 @@ class ShardedRQTreeEngine:
                 node: (CONFIRMED if node in kept else REJECTED)
                 for node in pool
             }
-            return _refined(kept, pool, statuses)
+            return _refined(
+                kept, pool, statuses,
+                estimates=bounds, estimator="lb+",
+                planner_reason=f"explicit method {method!r}",
+            )
 
-        # method == "mc": one whole-graph sampling pass over the merged
-        # pool through the existing (batched) kernel.
-        if self.mc_refine_floor <= 0.0:
+        if method == "exact":
+            # The exact pool is built from the gateway's *whole-graph*
+            # MLP pass only — never from the shard candidate sets,
+            # which vary with the shard count.  The pool (and therefore
+            # the induced subgraph, the traversal, and every estimate)
+            # is thus bit-identical across shard layouts.  Shard
+            # confirmation certificates are not folded in for the same
+            # reason; they are dominated anyway — every MLP-certified
+            # path lies inside the pool, so the exact subgraph
+            # reliability confirms at least as much.
+            pool = set(reachable) | certified | source_set
+            request = EstimateRequest(
+                graph=self.graph,
+                sources=source_list,
+                eta=eta,
+                candidates=pool,
+                num_samples=num_samples,
+                seed=seed,
+                max_hops=max_hops,
+                backend=backend,
+                clock=clock,
+                coin_source=coin_source,
+                config=self.planner.config,
+            )
+            report = get_estimator("exact").estimate(request)
+            reason = f"explicit method {method!r}"
+            if report.notes:
+                reason = f"{reason}; {report.notes}"
+            return {
+                "kept": set(report.kept),
+                "pool": pool,
+                "statuses": dict(report.statuses),
+                "degraded": report.degraded,
+                "degraded_reason": report.degraded_reason,
+                "worlds_used": report.worlds_used,
+                "backend_fallbacks": report.backend_fallbacks,
+                "estimates": dict(report.estimates),
+                "estimator": report.estimator or "exact",
+                "planner_reason": reason,
+            }
+
+        # Sampling methods (mc / rss / lazy) and "auto": one
+        # whole-graph estimator pass over the merged pool through the
+        # existing kernels.
+        if method == "mc" and self.mc_refine_floor <= 0.0:
             pool = set(self.graph.nodes())
         else:
             pool = candidates | set(reachable) | certified | source_set
-        report = verify_sampling_report(
-            self.graph,
-            source_list,
-            eta,
-            pool,
+        request = EstimateRequest(
+            graph=self.graph,
+            sources=source_list,
+            eta=eta,
+            candidates=pool,
             num_samples=num_samples,
             seed=seed,
             max_hops=max_hops,
             backend=backend,
-            budget=clock,
+            clock=clock,
             coin_source=coin_source,
+            config=self.planner.config,
         )
+        if method == AUTO:
+            decision = self.planner.plan(request)
+            name = decision.estimator
+            reason = decision.reason
+        else:
+            name = method
+            reason = f"explicit method {method!r}"
+        report = get_estimator(name).estimate(request)
+        if report.notes:
+            reason = f"{reason}; {report.notes}"
         kept = set(report.kept)
         statuses = dict(report.statuses)
         if report.degraded or gather["degraded"]:
@@ -699,6 +775,9 @@ class ShardedRQTreeEngine:
             "degraded_reason": report.degraded_reason,
             "worlds_used": report.worlds_used,
             "backend_fallbacks": report.backend_fallbacks,
+            "estimates": dict(report.estimates),
+            "estimator": report.estimator or name,
+            "planner_reason": reason,
         }
 
     # ------------------------------------------------------------------
@@ -756,6 +835,9 @@ def _refined(
     statuses: Dict[int, str],
     degraded: bool = False,
     reason: Optional[str] = None,
+    estimates: Optional[Dict[int, float]] = None,
+    estimator: str = "",
+    planner_reason: Optional[str] = None,
 ) -> Dict[str, object]:
     return {
         "kept": kept,
@@ -765,6 +847,9 @@ def _refined(
         "degraded_reason": reason,
         "worlds_used": 0,
         "backend_fallbacks": 0,
+        "estimates": estimates if estimates is not None else {},
+        "estimator": estimator,
+        "planner_reason": planner_reason,
     }
 
 

@@ -77,13 +77,16 @@ def test_query_matches_direct_engine(server, medium_engine):
 def test_quality_block_schema(server):
     """Every wire response carries the stable per-query quality block.
 
-    Monitoring pipelines alert off these five keys, so they must be
+    Monitoring pipelines alert off these seven keys, so they must be
     present with exactly these names and JSON types on every answer —
-    healthy, degraded, or shed — from both frontends.
+    healthy, degraded, or shed — from both frontends.  ``estimator``
+    and ``planner_reason`` expose the portfolio decision: which
+    estimator actually ran and why.
     """
     expected_keys = {
         "achieved_confidence", "worlds_used", "degraded",
-        "degraded_reason", "shards_recovered",
+        "degraded_reason", "shards_recovered", "estimator",
+        "planner_reason",
     }
 
     def assert_schema(reply):
@@ -96,11 +99,16 @@ def test_quality_block_schema(server):
             quality["degraded_reason"], str
         )
         assert isinstance(quality["shards_recovered"], int)
+        assert isinstance(quality["estimator"], str)
+        assert quality["planner_reason"] is None or isinstance(
+            quality["planner_reason"], str
+        )
         # The block mirrors the legacy top-level fields exactly.
         assert quality["achieved_confidence"] == reply["achieved_confidence"]
         assert quality["worlds_used"] == reply["worlds_used"]
         assert quality["degraded"] == reply["degraded"]
         assert quality["degraded_reason"] == reply["degraded_reason"]
+        assert quality["estimator"] == reply["estimator"]
 
     conn = _connect(server)
     try:
