@@ -17,6 +17,14 @@ three failure modes a recovery layer can hide:
    probes, redispatches, and hedge promotions inside the supervisor
    itself — the recovery machinery recovering from its own failures.
 
+3. **Epoch storm** (``--updates``).  A live engine
+   (``repro.live.LiveShardedEngine``, process + shm, supervised)
+   absorbs a seeded update stream while queries, round-robin SIGKILLs,
+   and a mid-stream rebalance all race it.  Every non-degraded ``lb``
+   answer must equal the cold-rebuild answer *for the epoch the result
+   reports* (no drift, no cross-epoch leakage), the fabric must end
+   healthy, and no epoch's shm segments may outlive it.
+
 A watchdog alarm bounds the whole run: a hang is an exit, not a stuck
 CI job.
 
@@ -41,6 +49,11 @@ KILL_EVERY = 6
 FAULT_STORM_QUERIES = 40
 SHARDS = 3
 ETA_SCHEDULE = (0.2, 0.3, 0.4, 0.5)
+
+EPOCH_STORM_BATCHES = 6
+EPOCH_BATCH_SIZE = 25
+EPOCH_STORM_QUERIES_PER_BATCH = 8
+EPOCH_STORM_ETA = 0.35
 
 
 def _alarm(signum, frame):  # pragma: no cover - only fires on a hang
@@ -169,18 +182,162 @@ def fault_storm(graph, expected):
           f"supervisor faults (hits: {hits}), all answers exact")
 
 
+def _epoch_update_stream(graph, num_batches, batch_size, seed=13):
+    import random
+
+    rng = random.Random(seed)
+    mirror = {(u, v): p for u, v, p in graph.arcs()}
+    n = graph.num_nodes
+    batches = []
+    for _ in range(num_batches):
+        ops = []
+        while len(ops) < batch_size:
+            roll = rng.random()
+            if roll < 0.5 and mirror:
+                u, v = rng.choice(sorted(mirror))
+                p = round(rng.uniform(0.2, 0.9), 3)
+                ops.append(("set", u, v, p))
+                mirror[(u, v)] = p
+            elif roll < 0.8:
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v or (u, v) in mirror:
+                    continue
+                p = round(rng.uniform(0.2, 0.9), 3)
+                ops.append(("set", u, v, p))
+                mirror[(u, v)] = p
+            elif mirror:
+                u, v = rng.choice(sorted(mirror))
+                ops.append(("delete", u, v))
+                del mirror[(u, v)]
+        batches.append(ops)
+    return batches
+
+
+def epoch_storm(graph):
+    """Updates + SIGKILLs + a mid-stream rebalance, all at once."""
+    import threading
+
+    from repro.core.engine import RQTreeEngine
+    from repro.live import LiveShardedEngine
+    from repro.live.updates import apply_to_graph, normalize_updates
+    from repro.shard import SupervisorPolicy
+
+    batches = _epoch_update_stream(
+        graph, EPOCH_STORM_BATCHES, EPOCH_BATCH_SIZE
+    )
+    # Per-epoch cold-rebuild references for every query the storm runs.
+    sources = [
+        (index * 11) % graph.num_nodes
+        for index in range(EPOCH_STORM_QUERIES_PER_BATCH)
+    ]
+    mirror = graph.copy()
+    reference = {}
+    for epoch in range(EPOCH_STORM_BATCHES + 1):
+        if epoch > 0:
+            apply_to_graph(mirror, normalize_updates(batches[epoch - 1]))
+        cold = RQTreeEngine.build(mirror, seed=3)
+        reference[epoch] = {
+            source: tuple(sorted(
+                cold.query(source, eta=EPOCH_STORM_ETA, method="lb").nodes
+            ))
+            for source in sources
+        }
+
+    policy = SupervisorPolicy(
+        ping_interval_seconds=0.02, backoff_base_seconds=0.01,
+    )
+    kills = 0
+    stop = threading.Event()
+    failures = []
+    checked = [0]
+
+    with LiveShardedEngine.build(
+        graph.copy(), shards=2, seed=3, mode="process", transport="shm",
+        supervise=True, supervisor_policy=policy,
+    ) as engine:
+        def hammer():
+            cursor = 0
+            while not stop.is_set():
+                source = sources[cursor % len(sources)]
+                cursor += 1
+                try:
+                    result = engine.query(
+                        source, eta=EPOCH_STORM_ETA, method="lb"
+                    )
+                except Exception as error:  # noqa: BLE001
+                    failures.append(f"query raised: {error!r}")
+                    continue
+                if result.degraded:
+                    continue  # a mid-kill degrade is allowed; drift is not
+                want = reference[result.epoch][source]
+                if tuple(sorted(result.nodes)) != want:
+                    failures.append(
+                        f"epoch {result.epoch} source {source}: answer "
+                        f"drifted from that epoch's cold rebuild"
+                    )
+                checked[0] += 1
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for index, batch in enumerate(batches):
+                if index % 2 == 1:
+                    victim = index % 2
+                    try:
+                        pid = engine.supervisor.client(victim)._process.pid
+                        os.kill(pid, signal.SIGKILL)
+                        kills += 1
+                    except (ProcessLookupError, AttributeError):
+                        pass
+                engine.apply(batch)
+                if index == EPOCH_STORM_BATCHES // 2:
+                    engine.rebalance(4)
+                time.sleep(0.05)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=60)
+        if failures:
+            for failure in failures[:5]:
+                print(f"CHAOS FAIL [epoch-storm] {failure}",
+                      file=sys.stderr)
+            sys.exit(1)
+        if checked[0] == 0:
+            print("CHAOS FAIL [epoch-storm]: no query was ever checked",
+                  file=sys.stderr)
+            sys.exit(3)
+        _wait_all_healthy(engine)
+        held = engine.store.held_epochs()
+        if held != [engine.epoch]:
+            print(
+                f"CHAOS FAIL [epoch-storm]: superseded epochs never "
+                f"drained (held: {held}, current: {engine.epoch})",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+    print(
+        f"epoch storm: {EPOCH_STORM_BATCHES} update batches, {kills} "
+        f"SIGKILLs, 1 rebalance, {checked[0]} answers checked against "
+        f"their own epoch's cold rebuild, fabric healthy"
+    )
+
+
 def main() -> int:
     signal.signal(signal.SIGALRM, _alarm)
     signal.alarm(WATCHDOG_SECONDS)
 
     from repro.graph.generators import uncertain_gnp
 
+    with_updates = "--updates" in sys.argv[1:]
     graph = uncertain_gnp(150, 0.04, seed=9)
     expected = _expected_answers(graph, seed=3)
 
     before = _shm_census()
     kill_storm(graph, expected)
     fault_storm(graph, expected)
+    if with_updates:
+        epoch_storm(graph)
     after = _shm_census()
 
     if before is not None and before != after:

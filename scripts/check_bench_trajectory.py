@@ -29,7 +29,7 @@ BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 TOLERANCE = 0.30
 METRIC = "qps"
 #: Fields identifying a sweep row across benchmark schemas.
-ROW_KEYS = ("workers", "shards", "connections", "method")
+ROW_KEYS = ("workload", "workers", "shards", "connections", "method")
 
 
 def _row_id(row: dict):

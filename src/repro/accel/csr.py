@@ -8,10 +8,11 @@ freezes the graph into four flat numpy arrays per direction
 every vectorized kernel in :mod:`repro.accel.mc_kernel` consumes.
 
 Snapshots are cached *on the graph object* and keyed by the graph's
-mutation counter (:attr:`UncertainGraph.version`): repeated sampling
-runs against an unchanged graph reuse the same arrays, and any
-``add_arc`` / ``remove_arc`` / ``add_node`` invalidates the cache
-automatically.  The arrays themselves are marked read-only so a stale
+``(version, epoch)`` pair (:attr:`UncertainGraph.version` counts
+mutations, :attr:`UncertainGraph.epoch` counts published live-update
+generations): repeated sampling runs against an unchanged graph reuse
+the same arrays, and any ``add_arc`` / ``remove_arc`` / ``add_node`` or
+epoch advance invalidates the cache automatically.  The arrays themselves are marked read-only so a stale
 reference can never be mutated into inconsistency.
 """
 
@@ -49,6 +50,12 @@ class CSRGraph:
         reverse-reachability kernels.
     version:
         The :attr:`UncertainGraph.version` the snapshot was taken at.
+    epoch:
+        The :attr:`UncertainGraph.epoch` the snapshot was taken at.
+        Copy-on-write epoch snapshots can share a version with their
+        parent graph (``copy(preserve_versioning=True)`` then a batch of
+        identical-count mutations), so cache validity is decided on the
+        ``(version, epoch)`` pair, never the version alone.
     """
 
     __slots__ = (
@@ -63,6 +70,7 @@ class CSRGraph:
         "rev_probs",
         "rev_probs_f32",
         "version",
+        "epoch",
     )
 
     def __init__(self, graph: UncertainGraph) -> None:
@@ -77,6 +85,7 @@ class CSRGraph:
         self.num_nodes = graph.num_nodes
         self.num_arcs = graph.num_arcs
         self.version = graph.version
+        self.epoch = graph.epoch
         self.indptr, self.indices, self.probs = self._pack(
             graph, graph.successors
         )
@@ -98,6 +107,7 @@ class CSRGraph:
         num_nodes: int,
         num_arcs: int,
         version: int,
+        epoch: int = 0,
     ) -> "CSRGraph":
         """Wrap pre-built CSR arrays (e.g. shared-memory views) without
         touching a graph object.
@@ -117,6 +127,7 @@ class CSRGraph:
         self.num_nodes = num_nodes
         self.num_arcs = num_arcs
         self.version = version
+        self.epoch = epoch
         for field in (
             "indptr", "indices", "probs",
             "rev_indptr", "rev_indices", "rev_probs",
@@ -189,18 +200,23 @@ def csr_snapshot(graph: UncertainGraph) -> CSRGraph:
     fault_point("csr.snapshot")
     with graph._csr_lock:
         cached: Optional[CSRGraph] = graph._csr_cache
-        if cached is not None and cached.version == graph.version:
+        if (
+            cached is not None
+            and cached.version == graph.version
+            and cached.epoch == graph.epoch
+        ):
             get_registry().counter("accel.csr_cache_hits").inc()
             return cached
         for _ in range(_BUILD_RETRIES):
             version = graph.version
+            epoch = graph.epoch
             try:
                 snapshot = CSRGraph(graph)
             except Exception:
                 if graph.version == version:
                     raise  # a genuine build error, not a racing mutation
                 continue
-            if graph.version == version:
+            if graph.version == version and graph.epoch == epoch:
                 graph._csr_cache = snapshot
                 get_registry().counter("accel.csr_builds").inc()
                 return snapshot

@@ -228,6 +228,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="aio frontend connection cap; beyond it "
                        "clients get 503 + Retry-After (default: "
                        "8 x --max-in-flight)")
+    serve.add_argument("--live", action="store_true",
+                       help="enable the update plane (POST /update): "
+                       "epoch-versioned snapshots, streaming arc "
+                       "updates, incremental index maintenance")
+
+    update = commands.add_parser(
+        "update",
+        help="stream arc updates to a running 'repro serve --live'",
+    )
+    update.add_argument("--url", required=True,
+                        help="base URL of the running server")
+    update.add_argument("--set", nargs=3, action="append", default=[],
+                        metavar=("U", "V", "P"),
+                        help="upsert arc u->v with probability p "
+                        "(repeatable)")
+    update.add_argument("--delete", nargs=2, action="append", default=[],
+                        metavar=("U", "V"),
+                        help="delete arc u->v (repeatable)")
+    update.add_argument("--file", default=None,
+                        help="JSON file with an array of update ops "
+                        "('-' = stdin); combined with --set/--delete")
 
     bench_serve = commands.add_parser(
         "bench-serve",
@@ -602,6 +623,7 @@ def _build_service(args: argparse.Namespace):
         shard_respawn=getattr(args, "shard_respawn", False),
         shard_retry_timeout_ms=getattr(args, "shard_retry_timeout_ms", None),
         shard_hedge_after_ms=getattr(args, "hedge_after_ms", None),
+        live=getattr(args, "live", False),
     )
 
 
@@ -622,14 +644,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     engine = service.engine
     shards = getattr(engine, "num_shards", None)
     shard_note = "" if shards is None else f", {shards} shards"
+    live_note = ", live updates" if getattr(args, "live", False) else ""
     print(
         f"serving {engine.graph.num_nodes} nodes / "
         f"{engine.graph.num_arcs} arcs on http://{host}:{port} "
-        f"({service.workers} workers{shard_note}, "
+        f"({service.workers} workers{shard_note}{live_note}, "
         f"{getattr(args, 'frontend', 'aio')} frontend)",
         flush=True,
     )
     server.serve_forever()
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    import json
+    from urllib.error import HTTPError
+    from urllib.request import Request, urlopen
+
+    ops: List[dict] = []
+    if args.file is not None:
+        raw = (
+            sys.stdin.read()
+            if args.file == "-"
+            else open(args.file, "r", encoding="utf-8").read()
+        )
+        loaded = json.loads(raw)
+        if isinstance(loaded, dict):
+            loaded = loaded.get("updates", [])
+        ops.extend(loaded)
+    for u, v, p in args.set:
+        ops.append({"op": "set", "u": int(u), "v": int(v), "p": float(p)})
+    for u, v in args.delete:
+        ops.append({"op": "delete", "u": int(u), "v": int(v)})
+    if not ops:
+        print("no updates given (use --set/--delete/--file)", file=sys.stderr)
+        return 2
+
+    request = Request(
+        f"{args.url.rstrip('/')}/update",
+        data=json.dumps({"updates": ops}).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urlopen(request, timeout=300) as response:
+            reply = json.loads(response.read())
+    except HTTPError as error:
+        detail = error.read().decode("utf-8", "replace")
+        print(f"update rejected ({error.code}): {detail}", file=sys.stderr)
+        return 1
+    print(
+        f"applied {reply.get('ops', len(ops))} ops; "
+        f"serving epoch {reply.get('epoch')}"
+    )
     return 0
 
 
@@ -786,6 +853,7 @@ _HANDLERS = {
     "detect": _cmd_detect,
     "transform": _cmd_transform,
     "serve": _cmd_serve,
+    "update": _cmd_update,
     "bench-serve": _cmd_bench_serve,
 }
 

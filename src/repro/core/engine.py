@@ -112,6 +112,13 @@ class QueryResult:
     #: exact values for exact); empty otherwise.
     estimates: Dict[int, float] = field(default_factory=dict)
 
+    #: Graph epoch this query was answered against (the live update
+    #: plane's published-generation counter; 0 for a frozen graph).
+    #: Under :mod:`repro.live` a query is admitted at one epoch and
+    #: served against exactly that epoch's snapshot — this field is the
+    #: proof, and the ``quality`` wire block surfaces it.
+    epoch: int = 0
+
     @property
     def unverified(self) -> Set[int]:
         """Candidates the budget ran out on (empty when not degraded)."""
@@ -397,6 +404,7 @@ class RQTreeEngine:
             estimator=estimator_used,
             planner_reason=planner_reason,
             estimates=report.estimates,
+            epoch=self.graph.epoch,
         )
 
     @staticmethod

@@ -114,6 +114,46 @@ class DynamicRQTreeEngine:
         self._damage: Dict[int, int] = {}
         self.stats = MaintenanceStats()
 
+    @classmethod
+    def from_engine(
+        cls,
+        engine: RQTreeEngine,
+        damage_threshold: float = 0.25,
+        seed: int = 0,
+        strategy: str = "multilevel",
+        branching: int = 2,
+        max_imbalance: float = 0.1,
+        min_rebuild_size: int = 8,
+    ) -> "DynamicRQTreeEngine":
+        """Wrap an *existing* engine without rebuilding its index.
+
+        The shard runtime uses this to retrofit maintenance onto the
+        engine it deserialized (or rebuilt from ``tree_json``) at init:
+        the tree is adopted as-is — correct by the structural fact in
+        the module docstring — and only accrues damage from updates
+        applied after the wrap.
+        """
+        self = cls.__new__(cls)
+        if damage_threshold <= 0:
+            raise ValueError(
+                f"damage_threshold must be positive, got {damage_threshold}"
+            )
+        if min_rebuild_size < 2:
+            raise ValueError(
+                f"min_rebuild_size must be >= 2, got {min_rebuild_size}"
+            )
+        self.min_rebuild_size = min_rebuild_size
+        self.graph = engine.graph
+        self.damage_threshold = damage_threshold
+        self._seed = seed
+        self._strategy = strategy
+        self._branching = branching
+        self._max_imbalance = max_imbalance
+        self._engine = engine
+        self._damage = {}
+        self.stats = MaintenanceStats()
+        return self
+
     # ------------------------------------------------------------------
     # Delegation
     # ------------------------------------------------------------------
@@ -121,6 +161,11 @@ class DynamicRQTreeEngine:
     def tree(self) -> RQTree:
         """The current index tree (replaced wholesale on rebuilds)."""
         return self._engine.tree
+
+    @property
+    def engine(self) -> RQTreeEngine:
+        """The wrapped static engine (replaced wholesale on rebuilds)."""
+        return self._engine
 
     def query(self, *args, **kwargs) -> QueryResult:
         """Answer a reliability-search query (see RQTreeEngine.query)."""
@@ -160,6 +205,42 @@ class DynamicRQTreeEngine:
         self.graph.remove_arc(u, v)
         self.graph.add_arc(u, v, p)
         self._record_damage(u, v)
+
+    def apply(self, ops: Sequence) -> int:
+        """Apply a batch of updates; returns the number applied.
+
+        Each op is either an ``(op, u, v, p)`` tuple with ``op`` one of
+        ``"set"`` / ``"insert"`` / ``"delete"`` (``p`` ignored for
+        deletes) or any object with ``op`` / ``u`` / ``v`` / ``p``
+        attributes (the live plane's :class:`repro.live.ArcUpdate`).
+
+        Semantics are upsert-friendly so a slice replayed against a
+        shard that already saw part of the batch stays idempotent-ish:
+        ``"set"`` on a missing arc inserts it, ``"insert"`` on an
+        existing arc sets it exactly (no noisy-or double counting —
+        the update plane's contract is "the arc's probability is now
+        p"), and ``"delete"`` on a missing arc is a no-op.
+        """
+        applied = 0
+        for item in ops:
+            if isinstance(item, tuple):
+                op, u, v = item[0], item[1], item[2]
+                p = item[3] if len(item) > 3 else None
+            else:
+                op, u, v, p = item.op, item.u, item.v, item.p
+            if op == "delete":
+                if self.graph.has_arc(u, v):
+                    self.remove_arc(u, v)
+                    applied += 1
+                continue
+            if op not in ("set", "insert"):
+                raise ValueError(f"unknown update op {op!r}")
+            if self.graph.has_arc(u, v):
+                self.update_probability(u, v, p)
+            else:
+                self.add_arc(u, v, p)
+            applied += 1
+        return applied
 
     # ------------------------------------------------------------------
     # Damage accounting and repair

@@ -38,7 +38,12 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..errors import EmptySourceSetError, GraphError, InvalidProbabilityError
+from ..errors import (
+    EmptySourceSetError,
+    GraphError,
+    InvalidMethodError,
+    InvalidProbabilityError,
+)
 from .uncertain import Arc, UncertainGraph
 
 __all__ = ["SharedFateModel", "correlated_mc_search", "exact_correlated_reliability"]
@@ -160,12 +165,19 @@ def correlated_mc_search(
     eta: float,
     num_samples: int = 1000,
     seed: Optional[int] = None,
+    method: str = "mc",
 ) -> Set[int]:
     """Monte-Carlo reliability search under the shared-fate model.
 
     The ground-truth method for correlated graphs: no independence
     assumption anywhere, cost ``O(K (n + m))`` like plain MC-Sampling.
+    ``method`` exists for signature symmetry with the engine's query
+    surface; only ``"mc"`` is valid here (the bound-based estimators
+    assume independence), and anything else raises the same
+    :class:`~repro.errors.InvalidMethodError` the engine would.
     """
+    if method != "mc":
+        raise InvalidMethodError(method, ("mc",))
     source_list = list(dict.fromkeys(sources))
     if not source_list:
         raise EmptySourceSetError()

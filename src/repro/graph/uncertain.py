@@ -75,7 +75,8 @@ class UncertainGraph:
     """
 
     __slots__ = (
-        "_succ", "_pred", "_num_arcs", "_version", "_csr_cache", "_csr_lock",
+        "_succ", "_pred", "_num_arcs", "_version", "_epoch",
+        "_csr_cache", "_csr_lock",
     )
 
     def __init__(self, n: int = 0) -> None:
@@ -91,6 +92,13 @@ class UncertainGraph:
         # record the version they were built at and rebuild when it no
         # longer matches.
         self._version = 0
+        # Epoch counter: bumped only by the live update plane
+        # (:mod:`repro.live`) when a batch of updates is committed and a
+        # new snapshot is published.  Unlike ``_version`` (which counts
+        # individual mutations), the epoch identifies a *published
+        # generation* of the graph — queries are admitted against one
+        # epoch and served against exactly that epoch's snapshot.
+        self._epoch = 0
         # Slot for the cached CSR snapshot (owned by repro.accel.csr).
         # The lock serializes snapshot build/evict across threads — the
         # serving layer snapshots one shared graph from many workers.
@@ -191,6 +199,39 @@ class UncertainGraph:
         """
         return self._version
 
+    @property
+    def epoch(self) -> int:
+        """Published-generation counter for the live update plane.
+
+        Bumped by :meth:`advance_epoch` when a committed update batch is
+        published as a new snapshot.  Two graphs with the same
+        ``(version, epoch)`` pair are byte-identical from the data
+        plane's point of view: derived caches key on the pair so a
+        copy-on-write epoch snapshot never aliases its parent's CSR.
+        """
+        return self._epoch
+
+    def advance_epoch(self) -> int:
+        """Bump the epoch counter and return the new value.
+
+        Called by the update plane after a batch commit; plain
+        mutations (``add_arc`` etc.) never touch the epoch.
+        """
+        self._epoch += 1
+        return self._epoch
+
+    def set_epoch(self, epoch: int) -> None:
+        """Stamp this graph as belonging to *epoch* (snapshots only).
+
+        Used when materializing a copy-on-write snapshot of a given
+        generation; the epoch may only move forward.
+        """
+        if epoch < self._epoch:
+            raise GraphError(
+                f"epoch may not move backwards: {self._epoch} -> {epoch}"
+            )
+        self._epoch = epoch
+
     def __len__(self) -> int:
         return len(self._succ)
 
@@ -265,14 +306,25 @@ class UncertainGraph:
             rev.add_arc(v, u, p)
         return rev
 
-    def copy(self) -> "UncertainGraph":
-        """A deep, independent copy of this graph."""
+    def copy(self, preserve_versioning: bool = False) -> "UncertainGraph":
+        """A deep, independent copy of this graph.
+
+        By default the copy starts with a fresh ``version``/``epoch`` of
+        0 (it is a new graph).  The live update plane passes
+        ``preserve_versioning=True`` when materializing copy-on-write
+        epoch snapshots, so the snapshot inherits the generation it was
+        taken at and derived caches keyed on ``(version, epoch)``
+        remain distinguishable across epochs.
+        """
         dup = UncertainGraph(self.num_nodes)
         for u, nbrs in enumerate(self._succ):
             dup._succ[u] = dict(nbrs)
         for v, nbrs in enumerate(self._pred):
             dup._pred[v] = dict(nbrs)
         dup._num_arcs = self._num_arcs
+        if preserve_versioning:
+            dup._version = self._version
+            dup._epoch = self._epoch
         return dup
 
     def undirected_weights(self) -> Dict[Tuple[int, int], float]:

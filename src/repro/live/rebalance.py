@@ -1,0 +1,80 @@
+"""Watermark policy for zero-downtime shard rebalancing.
+
+The rebalancer is deliberately dumb: it watches two cheap signals —
+per-shard node counts (size skew after an update stream grows one
+region of the graph) and per-shard client queue depth (load skew) —
+and when either crosses its watermark it asks
+:meth:`~repro.live.engine.LiveShardedEngine.rebalance` for a new
+partition with more shards.  All correctness lives in the rebalance
+mechanism itself (build-then-swap at a pinned epoch); this module only
+decides *when* it is worth paying for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["LoadWatermarks"]
+
+
+@dataclass(frozen=True)
+class LoadWatermarks:
+    """Thresholds that trigger a shard split.
+
+    ``max_nodes_per_shard`` — a shard owning more nodes than this is
+    oversized (0 disables the size check).
+    ``max_queue_depth`` — a shard whose client has more queued requests
+    than this is hot (0 disables the load check).
+    ``min_shards``/``max_shards`` — bounds on the shard count the
+    rebalancer may choose; ``max_shards`` caps growth so a pathological
+    stream cannot fork unbounded workers.
+    """
+
+    max_nodes_per_shard: int = 0
+    max_queue_depth: int = 0
+    min_shards: int = 1
+    max_shards: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_nodes_per_shard < 0:
+            raise ValueError(
+                f"max_nodes_per_shard must be >= 0, "
+                f"got {self.max_nodes_per_shard}"
+            )
+        if self.max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0, got {self.max_queue_depth}"
+            )
+        if self.min_shards < 1:
+            raise ValueError(f"min_shards must be >= 1, got {self.min_shards}")
+        if self.max_shards < self.min_shards:
+            raise ValueError(
+                f"max_shards ({self.max_shards}) must be >= "
+                f"min_shards ({self.min_shards})"
+            )
+
+    def proposed_shards(
+        self,
+        shard_sizes: Sequence[int],
+        queue_depths: Sequence[int],
+    ) -> Optional[int]:
+        """Return a new shard count, or ``None`` if no watermark tripped.
+
+        The proposal doubles the shard count (clamped to
+        ``max_shards``), matching the recursive-bisection partitioner's
+        natural grain.  Returns ``None`` when already at ``max_shards``.
+        """
+        current = max(len(shard_sizes), self.min_shards)
+        oversized = self.max_nodes_per_shard > 0 and any(
+            size > self.max_nodes_per_shard for size in shard_sizes
+        )
+        hot = self.max_queue_depth > 0 and any(
+            depth > self.max_queue_depth for depth in queue_depths
+        )
+        if not (oversized or hot):
+            return None
+        target = min(max(current * 2, self.min_shards), self.max_shards)
+        if target <= current:
+            return None
+        return target

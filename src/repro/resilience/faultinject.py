@@ -53,6 +53,9 @@ INJECTION_POINTS = frozenset(
         # sub-query (plans are process-global, so this only reaches
         # inline-mode shards — see repro.shard.worker).
         "shard.handle",
+        # repro.shard.runtime.ShardRuntime.apply_updates: entry of one
+        # shard's update-slice application (live update plane).
+        "shard.update",
         # repro.shard.supervisor.ShardSupervisor: the recovery
         # transitions of the per-shard state machine.  All four run in
         # the *gateway* process (monitor thread or waiting query

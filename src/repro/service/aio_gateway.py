@@ -13,6 +13,9 @@ itself never blocks on query work.
 Endpoints
 ---------
 * ``POST /query`` — identical to the legacy frontend.
+* ``POST /update`` — identical to the legacy frontend; the apply runs
+  on the default executor so a long update stream (payload rebuilds,
+  per-shard slice streaming) never stalls the event loop's queries.
 * ``POST /batch`` — body ``{"queries": [<query body>, ...]}``; every
   query is submitted up front (so they share admission, dedup, and
   world batching like any concurrent burst) and results **stream** back
@@ -59,8 +62,10 @@ from .wire import (
     _decode_object,
     parse_query_body,
     parse_query_object,
+    parse_update_body,
     result_to_json,
     retry_after_seconds,
+    update_to_json,
 )
 
 __all__ = ["AioGateway"]
@@ -335,6 +340,9 @@ class AioGateway:
                 "workers": self._service.workers,
                 "frontend": "aio",
             }
+            epoch = getattr(engine, "epoch", None)
+            if epoch is not None:
+                health["epoch"] = epoch
             shards = getattr(engine, "num_shards", None)
             if shards is not None:
                 health["shards"] = shards
@@ -359,6 +367,12 @@ class AioGateway:
             await self._write_response(
                 writer, status, payload,
                 keep_alive=keep_alive, retry_after=retry_after,
+            )
+            return False
+        if method == "POST" and path == "/update":
+            status, payload = await self._run_update(body)
+            await self._write_response(
+                writer, status, payload, keep_alive=keep_alive
             )
             return False
         if method == "POST" and path == "/batch":
@@ -404,6 +418,24 @@ class AioGateway:
             retry_after_seconds(self._service.shed_pressure())
             if shed else None,
         )
+
+    async def _run_update(
+        self, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        try:
+            ops = parse_update_body(body)
+        except BadRequest as error:
+            return 400, {"error": str(error)}
+        loop = asyncio.get_running_loop()
+        try:
+            outcome = await loop.run_in_executor(
+                None, self._service.apply_updates, ops
+            )
+        except (ReproError, TypeError, ValueError) as error:
+            return 400, {"error": f"{error}"}
+        except Exception as error:  # noqa: BLE001 - 500 beats a torn pipe
+            return 500, {"error": f"internal error: {type(error).__name__}"}
+        return 200, update_to_json(outcome)
 
     async def _run_batch(
         self,

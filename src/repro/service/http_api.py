@@ -12,8 +12,14 @@ no-new-dependencies rule.  Three endpoints:
   Replies 200 with the serialized :class:`QueryResult` (degraded
   answers included — shedding is not an HTTP error), or 400 with
   ``{"error": ...}`` for malformed requests.
+* ``POST /update`` — body is a JSON array of arc-update ops (or
+  ``{"updates": [...]}``); replies 200 with ``{"accepted": true,
+  "epoch": E, "ops": N}`` when the service wraps a live engine, 400
+  otherwise (and for malformed or rejected batches — rejection is
+  atomic, so a 400 means no op in the batch was applied).
 * ``GET /metrics`` — the service's merged metrics snapshot as JSON.
-* ``GET /healthz`` — liveness plus graph shape.
+* ``GET /healthz`` — liveness plus graph shape (and the serving epoch
+  when the engine is live).
 
 The HTTP layer adds no queueing of its own: every request thread
 blocks on the service's future, so admission control and load
@@ -32,8 +38,10 @@ from .server import ReliabilityService
 from .wire import (
     BadRequest,
     parse_query_body,
+    parse_update_body,
     result_to_json,
     retry_after_seconds,
+    update_to_json,
 )
 
 __all__ = ["ServiceHTTPServer", "result_to_json"]
@@ -85,6 +93,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "arcs": engine.graph.num_arcs,
                 "workers": self._service.workers,
             }
+            epoch = getattr(engine, "epoch", None)
+            if epoch is not None:
+                health["epoch"] = epoch
             shards = getattr(engine, "num_shards", None)
             if shards is not None:
                 health["shards"] = shards
@@ -110,6 +121,9 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             length = 0
         raw = self.rfile.read(length) if length > 0 else b""
+        if self.path == "/update":
+            self._handle_update(raw)
+            return
         if self.path != "/query":
             self._reply(404, {"error": f"unknown path {self.path!r}"})
             return
@@ -133,6 +147,23 @@ class _Handler(BaseHTTPRequestHandler):
         shed = result.degraded and (result.degraded_reason or "").startswith(
             "shed:"
         )
+        self._finish_query(result, shed)
+
+    def _handle_update(self, raw: bytes) -> None:
+        try:
+            ops = parse_update_body(raw)
+            outcome = self._service.apply_updates(ops)
+        except (BadRequest, ReproError, TypeError, ValueError) as error:
+            self._reply(400, {"error": f"{error}"})
+            return
+        except Exception as error:  # noqa: BLE001 - see do_POST
+            self._reply(
+                500, {"error": f"internal error: {type(error).__name__}"}
+            )
+            return
+        self._reply(200, update_to_json(outcome))
+
+    def _finish_query(self, result, shed: bool) -> None:
         self._reply(
             200, result_to_json(result),
             # Jittered and pressure-scaled: constant hints would march

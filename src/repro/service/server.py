@@ -152,6 +152,15 @@ class ReliabilityService:
         the sub-query (first answer wins).  ``0`` derives the delay
         from the shard's observed p99 latency; ``None`` disables
         hedging.  Requires *shard_respawn*.
+    live:
+        Accept streaming arc updates (``POST /update`` /
+        :meth:`apply_updates`).  With *shards* set this builds a
+        :class:`~repro.live.LiveShardedEngine` (epoch-versioned
+        snapshots, streamed per-shard update slices, zero-downtime
+        rebalancing); without shards a plain engine is wrapped in a
+        :class:`~repro.live.LiveRQTreeEngine` reusing its index.
+        Result-cache keys carry the epoch, so answers cached before an
+        update can never serve after it.
     """
 
     def __init__(
@@ -171,6 +180,7 @@ class ReliabilityService:
         shard_respawn: bool = False,
         shard_retry_timeout_ms: Optional[float] = None,
         shard_hedge_after_ms: Optional[float] = None,
+        live: bool = False,
     ) -> None:
         if isinstance(engine, CachingRQTreeEngine):
             self._engine_cache_stats = engine.stats
@@ -184,7 +194,13 @@ class ReliabilityService:
                     "pass either an already-sharded engine or shards=K, "
                     "not both"
                 )
-            engine = ShardedRQTreeEngine.build(
+            if live:
+                from ..live import LiveShardedEngine
+
+                builder = LiveShardedEngine.build
+            else:
+                builder = ShardedRQTreeEngine.build
+            engine = builder(
                 engine.graph,
                 shards=shards,
                 seed=shard_seed,
@@ -202,6 +218,13 @@ class ReliabilityService:
                 ),
             )
             self._owned_sharded = engine
+        self._owned_live = None
+        if shards is None and live and isinstance(engine, RQTreeEngine):
+            from ..core.maintenance import DynamicRQTreeEngine
+            from ..live import LiveRQTreeEngine
+
+            engine = LiveRQTreeEngine(DynamicRQTreeEngine.from_engine(engine))
+            self._owned_live = engine
         self._engine = engine
         self._registry = registry
         self._cache = cache if cache is not None else TTLResultCache()
@@ -246,6 +269,8 @@ class ReliabilityService:
         self._pool.stop(drain=drain)
         if self._owned_sharded is not None:
             self._owned_sharded.close()
+        if self._owned_live is not None:
+            self._owned_live.close()
 
     def __enter__(self) -> "ReliabilityService":
         return self.start()
@@ -286,7 +311,7 @@ class ReliabilityService:
         cacheable = budget is None and is_cacheable(method, seed)
         cache_key = (
             TTLResultCache.make_key(
-                self._engine.graph.version, source_list, eta, method,
+                self._graph_generation(), source_list, eta, method,
                 num_samples, seed, multi_source_mode, max_hops, backend,
             )
             if cacheable
@@ -387,7 +412,7 @@ class ReliabilityService:
             request.method, request.seed, request.budget, request.backend
         ):
             batch_key = BatchKey(
-                graph_version=self._engine.graph.version,
+                graph_version=self._graph_generation(),
                 seed=request.seed,
                 num_worlds=request.num_samples,
             )
@@ -473,6 +498,44 @@ class ReliabilityService:
             return tree.height
         return getattr(self._engine, "tree_height", 0)
 
+    def _graph_generation(self) -> "tuple":
+        """Generation stamp for cache and batch keys.
+
+        Includes both the mutation version and the published epoch:
+        an update stream advances the epoch, and cached answers from
+        the previous generation must never be served against the new
+        one (epoch-scoped cache invalidation).
+        """
+        graph = self._engine.graph
+        return (graph.version, getattr(graph, "epoch", 0))
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def apply_updates(self, ops: Sequence[object]) -> Dict[str, int]:
+        """Apply a batch of arc updates through the live engine.
+
+        Only available when the service was built with ``live=True``
+        (the wrapped engine then exposes ``apply``).  Returns the epoch
+        the batch was published under; in-flight queries keep running
+        against their admitted epoch, new submissions see the new one
+        (and miss the result cache, whose keys embed the epoch).
+        """
+        apply = getattr(self._engine, "apply", None)
+        if apply is None:
+            raise ValueError(
+                "engine does not accept updates; construct the service "
+                "with live=True to enable the update plane"
+            )
+        from ..live.updates import normalize_updates
+
+        updates = normalize_updates(ops)
+        epoch = apply(updates)
+        maybe_rebalance = getattr(self._engine, "maybe_rebalance", None)
+        if maybe_rebalance is not None:
+            maybe_rebalance()
+        return {"epoch": epoch, "ops": len(updates)}
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -509,6 +572,9 @@ class ReliabilityService:
                     str(shard_id): state
                     for shard_id, state in shard_states().items()
                 }
+        epoch = getattr(self._engine, "epoch", None)
+        if epoch is not None:
+            service["epoch"] = epoch
         if self._engine_cache_stats is not None:
             service["engine_cache"] = self._engine_cache_stats.as_dict()
         snapshot["service"] = service

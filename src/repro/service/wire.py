@@ -21,8 +21,10 @@ from ..resilience.budget import QueryBudget
 __all__ = [
     "BadRequest",
     "parse_query_body",
+    "parse_update_body",
     "result_to_json",
     "retry_after_seconds",
+    "update_to_json",
 ]
 
 #: Request fields forwarded verbatim to :meth:`ReliabilityService.submit`.
@@ -40,12 +42,14 @@ def result_to_json(result: QueryResult) -> Dict[str, object]:
     """The wire form of a :class:`QueryResult` (JSON-able dict).
 
     The ``quality`` block is a stable contract: monitoring pipelines
-    alert off it, so its seven keys are always present with these exact
+    alert off it, so its eight keys are always present with these exact
     names, whatever the method, backend, or failure history of the
     query.  ``estimator`` is the estimator that actually ran (it can
     differ from ``method`` under ``"auto"`` planning or the exact
-    estimator's fallback) and ``planner_reason`` says why.  The same
-    values also appear as legacy top-level fields.
+    estimator's fallback) and ``planner_reason`` says why; ``epoch`` is
+    the update-plane generation the answer was computed against (0 on a
+    frozen engine).  The same values also appear as legacy top-level
+    fields.
     """
     return {
         "nodes": sorted(result.nodes),
@@ -72,6 +76,7 @@ def result_to_json(result: QueryResult) -> Dict[str, object]:
             "shards_recovered": result.shards_recovered,
             "estimator": result.estimator,
             "planner_reason": result.planner_reason,
+            "epoch": result.epoch,
         },
     }
 
@@ -145,6 +150,39 @@ def parse_query_object(
     except (KeyError, TypeError, ValueError) as error:
         raise BadRequest(f"bad request: {error}") from error
     return sources, eta, kwargs, budget
+
+
+def parse_update_body(raw: bytes) -> list:
+    """Decode one ``POST /update`` body into a list of update ops.
+
+    Accepts either a bare JSON array of op objects or a wrapper object
+    ``{"updates": [...]}``.  Each op is an object with ``op`` (``set``,
+    ``insert``, or ``delete``), ``u``, ``v``, and — for upserts — ``p``;
+    validation of the values themselves happens in
+    :func:`repro.live.updates.normalize_updates`, inside the engine's
+    atomic admission step.
+    """
+    try:
+        body = json.loads(raw or b"")
+    except ValueError as error:
+        raise BadRequest(f"bad request: {error}") from error
+    if isinstance(body, dict):
+        body = body.get("updates")
+    if not isinstance(body, list) or not body:
+        raise BadRequest(
+            "bad request: expected a non-empty JSON array of update ops "
+            '(or {"updates": [...]})'
+        )
+    return body
+
+
+def update_to_json(outcome: Dict[str, int]) -> Dict[str, object]:
+    """The wire form of an accepted update batch."""
+    return {
+        "accepted": True,
+        "epoch": outcome["epoch"],
+        "ops": outcome["ops"],
+    }
 
 
 def _decode_object(raw: bytes) -> Dict[str, object]:

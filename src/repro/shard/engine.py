@@ -45,6 +45,7 @@ shard still answers exactly.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Set, Union
 
@@ -193,6 +194,9 @@ class ShardedRQTreeEngine:
         self._segments = list(segments or [])
         self._supervisor = supervisor
         self._closed = False
+        #: Guards the (plan, clients) pair: a live rebalance swaps both
+        #: atomically while queries snapshot them together.
+        self._routing_lock = threading.Lock()
         #: Cost-based estimator selection for ``method="auto"``; also
         #: caps the exact estimator on explicit ``method="exact"``.
         self.planner = QueryPlanner(planner_config)
@@ -320,6 +324,29 @@ class ShardedRQTreeEngine:
             return self._supervisor.client(shard_id)
         return self._clients[shard_id]
 
+    def _routing(self):
+        """An atomic ``(plan, clients, supervisor)`` snapshot.
+
+        Queries route through one consistent topology even if a live
+        rebalance swaps the pair mid-flight; in-flight queries finish
+        against the old clients (which are drained, not killed).
+        """
+        with self._routing_lock:
+            return self.plan, self._clients, self._supervisor
+
+    def _lease_epoch(self):
+        """Pin the graph generation this query runs against.
+
+        Returns an object with ``graph`` / ``epoch`` attributes and a
+        ``release()`` method.  The frozen base engine has exactly one
+        generation — the master graph — so the lease is a no-op
+        wrapper; :class:`repro.live.LiveShardedEngine` overrides this
+        with refcounted :class:`~repro.live.EpochStore` leases so a
+        query admitted at epoch *E* reads epoch *E*'s snapshot even
+        while updates land.
+        """
+        return _FrozenLease(self.graph)
+
     @property
     def tree_height(self) -> int:
         """Tallest per-shard RQ-tree (the sharded analogue of
@@ -424,26 +451,37 @@ class ShardedRQTreeEngine:
         registry = self._registry()
         registry.counter("shard.queries").inc()
 
-        # -- scatter / gather ------------------------------------------
-        scatter_start = time.perf_counter()
-        gather = self._scatter_gather(
-            source_list, eta, multi_source_mode, max_hops, clock, registry
-        )
-        candidate_seconds = time.perf_counter() - scatter_start
-        registry.histogram("shard.scatter_seconds").observe(
-            candidate_seconds
-        )
+        # Pin the generation: every phase of this query — scatter,
+        # stale-response demotion, whole-graph refinement — reads the
+        # leased graph, never the (possibly mutating) master.
+        lease = self._lease_epoch()
+        try:
+            graph = lease.graph
+            epoch = lease.epoch
 
-        # -- refine -----------------------------------------------------
-        refine_start = time.perf_counter()
-        refined = self._refine(
-            source_list, eta, method, num_samples, seed, max_hops,
-            backend, clock, coin_source, gather,
-        )
-        verification_seconds = time.perf_counter() - refine_start
-        registry.histogram("shard.refine_seconds").observe(
-            verification_seconds
-        )
+            # -- scatter / gather --------------------------------------
+            scatter_start = time.perf_counter()
+            gather = self._scatter_gather(
+                source_list, eta, multi_source_mode, max_hops, clock,
+                registry, epoch,
+            )
+            candidate_seconds = time.perf_counter() - scatter_start
+            registry.histogram("shard.scatter_seconds").observe(
+                candidate_seconds
+            )
+
+            # -- refine -------------------------------------------------
+            refine_start = time.perf_counter()
+            refined = self._refine(
+                source_list, eta, method, num_samples, seed, max_hops,
+                backend, clock, coin_source, gather, graph,
+            )
+            verification_seconds = time.perf_counter() - refine_start
+            registry.histogram("shard.refine_seconds").observe(
+                verification_seconds
+            )
+        finally:
+            lease.release()
 
         degraded = gather["degraded"] or refined["degraded"]
         degraded_reason = (
@@ -469,7 +507,7 @@ class ShardedRQTreeEngine:
             candidate_seconds=candidate_seconds,
             verification_seconds=verification_seconds,
             tree_height=self.tree_height,
-            num_graph_nodes=self.graph.num_nodes,
+            num_graph_nodes=graph.num_nodes,
             statuses=refined["statuses"],
             degraded=degraded,
             degraded_reason=degraded_reason,
@@ -480,6 +518,7 @@ class ShardedRQTreeEngine:
             estimator=refined.get("estimator") or method,
             planner_reason=refined.get("planner_reason"),
             estimates=refined.get("estimates") or {},
+            epoch=epoch,
         )
 
     # ------------------------------------------------------------------
@@ -493,13 +532,14 @@ class ShardedRQTreeEngine:
         max_hops: Optional[int],
         clock: Optional[BudgetClock],
         registry,
+        epoch: int = 0,
     ) -> Dict[str, object]:
+        plan, clients, supervisor = self._routing()
         by_shard: Dict[int, List[int]] = {}
         for node in source_list:
-            by_shard.setdefault(self.plan.shard_of[node], []).append(node)
+            by_shard.setdefault(plan.shard_of[node], []).append(node)
         sub_budget = self._sub_budget(clock)
 
-        supervisor = self._supervisor
         handles = []
         for shard_id in sorted(by_shard):
             request = {
@@ -508,6 +548,7 @@ class ShardedRQTreeEngine:
                 "multi_source_mode": multi_source_mode,
                 "max_hops": max_hops,
                 "budget": sub_budget,
+                "epoch": epoch,
             }
             try:
                 if supervisor is not None:
@@ -516,7 +557,7 @@ class ShardedRQTreeEngine:
                     )
                 else:
                     handles.append(
-                        (shard_id, self._clients[shard_id].submit(request))
+                        (shard_id, clients[shard_id].submit(request))
                     )
             except ShardUnavailableError as error:
                 handles.append((shard_id, error))
@@ -551,12 +592,27 @@ class ShardedRQTreeEngine:
                         merged["shards_recovered"] += 1
                         registry.counter("shard.supervisor.recovered_answers").inc()
                 else:
-                    response = self._clients[shard_id].wait(
+                    response = clients[shard_id].wait(
                         handle, timeout=self._wait_timeout(clock)
                     )
             except ShardUnavailableError as error:
                 failures.append(str(error))
                 registry.counter("shard.unavailable").inc()
+                continue
+            if response.get("epoch", epoch) != epoch:
+                # The worker answered from a different generation than
+                # this query was admitted on (an update raced the
+                # scatter, or a respawn landed on a newer payload).
+                # Its certificates may reflect arcs this epoch does not
+                # have, so demote everything to candidates: the
+                # refinement pass recomputes the exact answer from the
+                # leased epoch's graph, which for lb means the final
+                # answer never mixes generations.
+                registry.counter("live.stale_shard_responses").inc()
+                merged["candidates"].update(response["candidates"])
+                merged["candidates"].update(response["kept"])
+                merged["clusters_visited"] += response["clusters_visited"]
+                merged["flow_calls"] += response["flow_calls"]
                 continue
             merged["candidates"].update(response["candidates"])
             merged["confirmed"].update(response["kept"])
@@ -601,7 +657,10 @@ class ShardedRQTreeEngine:
         clock: Optional[BudgetClock],
         coin_source,
         gather: Dict[str, object],
+        graph: Optional[UncertainGraph] = None,
     ) -> Dict[str, object]:
+        if graph is None:
+            graph = self.graph
         source_set = set(source_list)
         candidates: Set[int] = gather["candidates"]
         confirmed: Set[int] = gather["confirmed"]
@@ -632,11 +691,11 @@ class ShardedRQTreeEngine:
             probe = min(cutoff, eta * self.mc_refine_floor)
         if max_hops is not None:
             reachable = hop_bounded_path_probabilities(
-                self.graph, source_list, max_hops, min_probability=probe
+                graph, source_list, max_hops, min_probability=probe
             )
         else:
             reachable = most_likely_path_probabilities(
-                self.graph, source_list, min_probability=probe
+                graph, source_list, min_probability=probe
             )
         certified = {
             node for node, prob in reachable.items() if prob >= cutoff
@@ -675,7 +734,7 @@ class ShardedRQTreeEngine:
                     planner_reason=f"explicit method {method!r}",
                 )
             kept, bounds = packing_bounds(
-                self.graph, source_list, eta, pool
+                graph, source_list, eta, pool
             )
             kept |= certified | confirmed
             statuses = {
@@ -700,7 +759,7 @@ class ShardedRQTreeEngine:
             # reliability confirms at least as much.
             pool = set(reachable) | certified | source_set
             request = EstimateRequest(
-                graph=self.graph,
+                graph=graph,
                 sources=source_list,
                 eta=eta,
                 candidates=pool,
@@ -733,11 +792,11 @@ class ShardedRQTreeEngine:
         # whole-graph estimator pass over the merged pool through the
         # existing kernels.
         if method == "mc" and self.mc_refine_floor <= 0.0:
-            pool = set(self.graph.nodes())
+            pool = set(graph.nodes())
         else:
             pool = candidates | set(reachable) | certified | source_set
         request = EstimateRequest(
-            graph=self.graph,
+            graph=graph,
             sources=source_list,
             eta=eta,
             candidates=pool,
@@ -827,6 +886,19 @@ class ShardedRQTreeEngine:
         from ..service.metrics import get_registry
 
         return get_registry()
+
+
+class _FrozenLease:
+    """The base engine's no-op epoch lease (one immutable generation)."""
+
+    __slots__ = ("graph", "epoch")
+
+    def __init__(self, graph: UncertainGraph) -> None:
+        self.graph = graph
+        self.epoch = graph.epoch
+
+    def release(self) -> None:
+        pass
 
 
 def _refined(

@@ -57,6 +57,7 @@ def build_shard_payload(
     max_imbalance: float = 0.1,
     strategy: str = "multilevel",
     transport: str = "pickle",
+    epoch: int = 0,
 ) -> Dict[str, object]:
     """The picklable construction recipe for one shard's runtime.
 
@@ -85,6 +86,7 @@ def build_shard_payload(
         "flow_engine": flow_engine,
         "max_imbalance": max_imbalance,
         "strategy": strategy,
+        "epoch": epoch,
     }
     if transport == "shm":
         from ..accel.csr import csr_snapshot
@@ -112,13 +114,19 @@ class ShardRuntime:
 
     def __init__(self, payload: Dict[str, object]) -> None:
         self.shard_id: int = payload["shard_id"]
+        self._segment_name: Optional[str] = None
+        self._maintainer = None
         if payload.get("transport", "pickle") == "shm":
-            graph, self._global_ids = self._from_segment(payload["shm"])
+            graph, self._global_ids = self._from_segment(
+                payload["shm"], payload.get("epoch", 0)
+            )
+            self._segment_name = payload["shm"]["name"]
         else:
             self._global_ids = list(payload["global_ids"])
             graph = UncertainGraph(payload["num_nodes"])
             for u, v, p in payload["arcs"]:
                 graph.add_arc(u, v, p)
+        graph.set_epoch(payload.get("epoch", 0))
         self._local_of = {
             node: index for index, node in enumerate(self._global_ids)
         }
@@ -147,7 +155,7 @@ class ShardRuntime:
             )
 
     @staticmethod
-    def _from_segment(meta: Dict[str, object]):
+    def _from_segment(meta: Dict[str, object], epoch: int = 0):
         """Rebuild the local graph from a shared-memory CSR segment.
 
         Arcs are replayed from the forward CSR in row order — the same
@@ -175,16 +183,25 @@ class ShardRuntime:
             num_nodes=num_nodes,
             num_arcs=meta["num_arcs"],
             version=graph.version,
+            epoch=epoch,
         )
         return graph, [int(node) for node in global_ids]
 
     @property
     def engine(self) -> RQTreeEngine:
+        # After live updates the maintainer may have rebuilt and
+        # replaced the engine; it is the authority once it exists.
+        if self._maintainer is not None:
+            return self._maintainer.engine
         return self._engine
 
     @property
+    def epoch(self) -> int:
+        return self.engine.graph.epoch
+
+    @property
     def tree_height(self) -> int:
-        return self._engine.tree.height
+        return self.engine.tree.height
 
     @property
     def num_nodes(self) -> int:
@@ -198,7 +215,58 @@ class ShardRuntime:
         build — respawn then costs the payload bytes plus tree
         deserialization, not a partition cascade.
         """
-        return self._engine.tree.to_json()
+        return self.engine.tree.to_json()
+
+    def apply_updates(self, spec: Dict[str, object]) -> Dict[str, object]:
+        """Apply one epoch's update slice to this shard, in place.
+
+        ``spec`` carries ``ops`` (local-id ``(op, u, v, p)`` tuples),
+        the target ``epoch``, and — on the shm transport — the attach
+        meta of the new epoch's segment (``shm``).  The ops run through
+        a :class:`~repro.core.maintenance.DynamicRQTreeEngine` wrapped
+        around the live engine, so damaged subtree clusters are
+        repaired in place rather than rebuilt from scratch.  The CSR
+        cache is then hot-swapped: the new segment's zero-copy arrays
+        replace the old mapping, which is detached so worker address
+        space stays one-segment-per-shard.  The ack (this return value)
+        is the gateway's drain barrier — the worker is single-threaded,
+        so by the time it answers, every sub-query admitted before the
+        update has finished against the old segment.
+        """
+        fault_point("shard.update")
+        if self._maintainer is None:
+            from ..core.maintenance import DynamicRQTreeEngine
+
+            self._maintainer = DynamicRQTreeEngine.from_engine(self._engine)
+        applied = self._maintainer.apply(spec.get("ops", ()))
+        graph = self._maintainer.graph
+        epoch = spec.get("epoch")
+        if epoch is not None:
+            graph.set_epoch(epoch)
+        meta = spec.get("shm")
+        if meta is not None:
+            from ..accel.csr import CSRGraph
+            from . import shm
+
+            arrays, _ = shm.attach_csr(meta)
+            with graph._csr_lock:
+                graph._csr_cache = CSRGraph.from_arrays(
+                    arrays,
+                    num_nodes=meta["num_nodes"],
+                    num_arcs=meta["num_arcs"],
+                    version=graph.version,
+                    epoch=graph.epoch,
+                )
+            old = self._segment_name
+            self._segment_name = meta["name"]
+            if old is not None and old != meta["name"]:
+                shm.detach(old)
+        return {
+            "shard_id": self.shard_id,
+            "applied": applied,
+            "epoch": graph.epoch,
+            "tree_height": self.tree_height,
+        }
 
     def handle(self, request: Dict[str, object]) -> Dict[str, object]:
         """Answer one sub-query; ids in and out are *global*.
@@ -218,7 +286,7 @@ class ShardRuntime:
         budget: Optional[QueryBudget] = (
             QueryBudget(**budget_spec) if budget_spec else None
         )
-        result = self._engine.query(
+        result = self.engine.query(
             sources,
             request["eta"],
             method="lb",
@@ -230,6 +298,7 @@ class ShardRuntime:
         candidate_result = result.candidate_result
         return {
             "shard_id": self.shard_id,
+            "epoch": self.epoch,
             "candidates": [
                 lift[node] for node in candidate_result.candidates
             ],

@@ -251,6 +251,60 @@ class ShardSupervisor:
         with slot.lock:
             return slot.client
 
+    # ------------------------------------------------------------------
+    # Live-update hooks
+    # ------------------------------------------------------------------
+    def update_payload(self, shard_id: int, payload: Dict[str, object]) -> None:
+        """Swap a shard's respawn recipe for a new epoch's payload.
+
+        Called by the live engine after streaming an update batch: a
+        worker that dies from here on must respawn onto the *current*
+        graph, not the one it booted with.  The cached ``tree_json`` is
+        carried over — updates never make an RQ-tree wrong (any
+        hierarchical partition is a correct index), so the respawned
+        worker still skips the partition cascade.
+        """
+        slot = self._slots[shard_id]
+        with slot.lock:
+            tree_json = slot.payload.get("tree_json")
+            if tree_json is not None and "tree_json" not in payload:
+                payload = dict(payload)
+                payload["tree_json"] = tree_json
+            slot.payload = payload
+
+    def reconfigure(self, clients, payloads) -> None:
+        """Adopt a rebalanced shard topology (possibly a new shard count).
+
+        Installs a fresh slot table over the new clients; the old slots
+        are parked (never respawned) but their primary clients are NOT
+        closed here — the caller owns the drain of in-flight queries
+        against the old topology and closes them afterwards.  Retired
+        straggler clients of the old slots are reaped immediately.
+        """
+        if len(clients) != len(payloads):
+            raise ValueError("one payload per client required")
+        new_slots = [
+            _ShardSlot(payload["shard_id"], payload, client)
+            for client, payload in zip(clients, payloads)
+        ]
+        old_slots, self._slots = self._slots, new_slots
+        for slot in old_slots:
+            with slot.lock:
+                slot.state = SHARD_PARKED
+                slot.state_reason = "superseded by rebalance"
+                slot.healthy.clear()
+                retired, slot.retired = slot.retired, []
+            for client in retired:
+                self._close_async(client)
+        self._metrics().counter("shard.supervisor.reconfigures").inc()
+        self._kick.set()
+        if self.policy.cache_index and not self._stop.is_set():
+            threading.Thread(
+                target=self._prefetch_indexes,
+                name="repro-shard-supervisor-index",
+                daemon=True,
+            ).start()
+
     def hedge_delay(self, shard_id: int) -> Optional[float]:
         """A p99-derived hedge delay for the shard, or ``None`` until
         enough latency samples exist to estimate a tail."""

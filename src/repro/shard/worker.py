@@ -10,9 +10,9 @@ payload (:func:`~repro.shard.runtime.build_shard_payload`) and the loop
 function must be importable at module top level.
 
 The wire protocol is deliberately tiny: requests are
-``("query" | "ping" | "index", request_id, arg)``, ``("init", -1,
-payload)`` (warm-standby activation, see :class:`WarmStandby`) or
-``("stop",)``; responses are
+``("query" | "ping" | "index" | "update", request_id, arg)``,
+``("init", -1, payload)`` (warm-standby activation, see
+:class:`WarmStandby`) or ``("stop",)``; responses are
 ``("ready" | "result" | "error" | "fatal", request_id, value)``.  The
 client side (:class:`ProcessShardClient`) tags every call with a fresh
 id and a background receiver thread routes responses to per-call
@@ -121,6 +121,14 @@ def shard_worker_main(
                 if kind == "index":
                     responses.put(
                         ("result", request_id, runtime.index_json())
+                    )
+                elif kind == "update":
+                    # Live-update slice: applied in place on this
+                    # thread, so the ack doubles as the drain barrier —
+                    # every sub-query admitted before it has already
+                    # answered against the previous epoch's graph.
+                    responses.put(
+                        ("result", request_id, runtime.apply_updates(request))
                     )
                 else:
                     responses.put(
@@ -348,6 +356,14 @@ class ProcessShardClient:
         """The worker's serialized RQ-tree (for respawn caching)."""
         return self.wait(self.submit_control("index"), timeout=timeout)
 
+    def apply_update(
+        self, spec: Dict[str, object], timeout: float = 300.0
+    ) -> Dict[str, object]:
+        """Stream one epoch's update slice to the worker and block for
+        its ack (see :meth:`ShardRuntime.apply_updates` — the ack is the
+        old-epoch drain barrier)."""
+        return self.wait(self._submit("update", spec), timeout=timeout)
+
     def is_alive(self) -> bool:
         return self._ready and not self._closed and self._process.is_alive()
 
@@ -548,6 +564,20 @@ class InlineShardClient:
 
     def fetch_index(self, timeout: float = 300.0) -> Dict[str, object]:
         return self.wait(self.submit_control("index"), timeout=timeout)
+
+    def apply_update(
+        self, spec: Dict[str, object], timeout: float = 300.0
+    ) -> Dict[str, object]:
+        if self._runtime is None:
+            raise ShardUnavailableError(
+                self.shard_id, "client closed", worker_dead=True
+            )
+        try:
+            return self._runtime.apply_updates(spec)
+        except Exception as error:  # noqa: BLE001 - same surface
+            raise ShardUnavailableError(
+                self.shard_id, f"{type(error).__name__}: {error}"
+            )
 
     def is_alive(self) -> bool:
         return self._runtime is not None

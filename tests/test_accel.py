@@ -347,3 +347,73 @@ def test_csr_snapshot_cache_reused_until_mutation():
     second = csr_snapshot(g)
     assert second is not first
     assert second.version == g.version
+
+
+def test_csr_snapshot_cache_key_includes_epoch():
+    # A live-update epoch publish can advance the epoch without a
+    # structural mutation; the cache is keyed on the (version, epoch)
+    # pair, so the snapshot must still refresh.
+    g = uncertain_gnp(25, 0.2, seed=10)
+    first = csr_snapshot(g)
+    g.set_epoch(g.epoch + 1)
+    second = csr_snapshot(g)
+    assert second is not first
+    assert (second.version, second.epoch) == (g.version, g.epoch)
+    assert csr_snapshot(g) is second
+
+
+def test_csr_snapshot_hammer_under_epoch_advancement():
+    """Readers racing a mutator that also publishes epochs.
+
+    The live update plane's apply loop is exactly this shape: arcs
+    change, then ``set_epoch`` stamps the generation.  Any snapshot a
+    reader obtains must be internally consistent and carry a
+    ``(version, epoch)`` pair the mutator actually produced.
+    """
+    import threading
+
+    g = uncertain_gnp(120, 0.05, seed=9)
+    recorded = {(g.version, g.epoch): g.num_arcs}
+    record_lock = threading.Lock()
+    stop = threading.Event()
+    failures = []
+
+    def mutator():
+        node = 0
+        epoch = g.epoch
+        while not stop.is_set():
+            g.add_arc(node % 120, (node * 7 + 1) % 120, 0.5)
+            if node % 5 == 0:
+                epoch += 1
+                g.set_epoch(epoch)
+            with record_lock:
+                recorded[(g.version, g.epoch)] = g.num_arcs
+            node += 1
+
+    def reader():
+        try:
+            for _ in range(300):
+                snap = csr_snapshot(g)
+                with record_lock:
+                    expected = recorded.get((snap.version, snap.epoch))
+                if expected is not None and snap.num_arcs != expected:
+                    failures.append(
+                        f"torn snapshot: generation "
+                        f"({snap.version}, {snap.epoch}) has "
+                        f"{snap.num_arcs} arcs, expected {expected}"
+                    )
+                assert snap.indptr[-1] == snap.num_arcs
+                assert snap.rev_indptr[-1] == snap.num_arcs
+        except Exception as error:  # noqa: BLE001 - surfaced below
+            failures.append(repr(error))
+
+    readers = [threading.Thread(target=reader) for _ in range(8)]
+    mut = threading.Thread(target=mutator, daemon=True)
+    mut.start()
+    for thread in readers:
+        thread.start()
+    for thread in readers:
+        thread.join()
+    stop.set()
+    mut.join(timeout=10)
+    assert not failures, failures[:3]

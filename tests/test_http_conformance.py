@@ -77,16 +77,17 @@ def test_query_matches_direct_engine(server, medium_engine):
 def test_quality_block_schema(server):
     """Every wire response carries the stable per-query quality block.
 
-    Monitoring pipelines alert off these seven keys, so they must be
+    Monitoring pipelines alert off these eight keys, so they must be
     present with exactly these names and JSON types on every answer —
     healthy, degraded, or shed — from both frontends.  ``estimator``
     and ``planner_reason`` expose the portfolio decision: which
-    estimator actually ran and why.
+    estimator actually ran and why; ``epoch`` is the update-plane
+    generation the answer was computed against (0 on a frozen engine).
     """
     expected_keys = {
         "achieved_confidence", "worlds_used", "degraded",
         "degraded_reason", "shards_recovered", "estimator",
-        "planner_reason",
+        "planner_reason", "epoch",
     }
 
     def assert_schema(reply):
@@ -99,6 +100,7 @@ def test_quality_block_schema(server):
             quality["degraded_reason"], str
         )
         assert isinstance(quality["shards_recovered"], int)
+        assert isinstance(quality["epoch"], int)
         assert isinstance(quality["estimator"], str)
         assert quality["planner_reason"] is None or isinstance(
             quality["planner_reason"], str
