@@ -16,6 +16,15 @@ catches "the data plane got 2x slower", not 5% jitter.
 Baselines carry a host fingerprint; a cpu-count mismatch is reported
 but still enforced (the quick workloads are small enough that the
 band absorbs honest host variance).
+
+Rows may also carry *ceiling* metrics — today ``p99_ms`` (tail
+latency, allowed up to 2x baseline: quick-mode p99 on a shared 1-core
+runner is the noisiest number we gate on) and ``degraded_rate``
+(allowed baseline + 0.15 absolute: a rate is bounded, so a relative
+band would explode around a baseline near zero).  Ceilings are only
+enforced for ``BENCH_slo.json``: older benches also report p99 but
+were never gated on it, and retroactively tightening their contract
+belongs in its own change.
 """
 
 from __future__ import annotations
@@ -28,6 +37,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 TOLERANCE = 0.30
 METRIC = "qps"
+#: Tail latency may double before we call it a regression.
+P99_TOLERANCE = 1.0
+#: Degraded-answer rate may rise this much (absolute) over baseline.
+DEGRADED_TOLERANCE = 0.15
 #: Fields identifying a sweep row across benchmark schemas.
 ROW_KEYS = ("workload", "workers", "shards", "connections", "method")
 
@@ -67,14 +80,35 @@ def check(current_path: Path, baseline_path: Path) -> list:
         base = base_rows.get(row_id)
         if base is None or METRIC not in row or METRIC not in base:
             continue
+        key, value = row_id
         floor = base[METRIC] * (1.0 - TOLERANCE)
         if row[METRIC] < floor:
-            key, value = row_id
             problems.append(
                 f"{current_path.name}: {METRIC} at {key}={value} is "
                 f"{row[METRIC]:.2f}, below {floor:.2f} "
                 f"({TOLERANCE:.0%} under baseline {base[METRIC]:.2f})"
             )
+        if current_path.name != "BENCH_slo.json":
+            continue
+        if "p99_ms" in row and "p99_ms" in base:
+            ceiling = base["p99_ms"] * (1.0 + P99_TOLERANCE)
+            if row["p99_ms"] > ceiling:
+                problems.append(
+                    f"{current_path.name}: p99_ms at {key}={value} is "
+                    f"{row['p99_ms']:.2f}, above {ceiling:.2f} "
+                    f"(baseline {base['p99_ms']:.2f} + "
+                    f"{P99_TOLERANCE:.0%})"
+                )
+        if "degraded_rate" in row and "degraded_rate" in base:
+            ceiling = base["degraded_rate"] + DEGRADED_TOLERANCE
+            if row["degraded_rate"] > ceiling:
+                problems.append(
+                    f"{current_path.name}: degraded_rate at "
+                    f"{key}={value} is {row['degraded_rate']:.3f}, "
+                    f"above {ceiling:.3f} (baseline "
+                    f"{base['degraded_rate']:.3f} + "
+                    f"{DEGRADED_TOLERANCE})"
+                )
     return problems
 
 

@@ -7,6 +7,10 @@ prefixed with environment metadata.  Intended as the one-command
 "reproduce everything" entry point:
 
     python scripts/run_all_experiments.py [--skip-tests]
+
+``--assemble-only`` re-stitches REPORT.md from whatever tables are
+already on disk (e.g. after running a single benchmark by hand)
+without re-executing the suite.
 """
 
 from __future__ import annotations
@@ -46,6 +50,15 @@ REPORT_ORDER = [
      "estimator_comparison"),
     ("Distance-constrained queries", "hop_constrained"),
     ("Verification ladder — lb / lb+ / mc", "verification_ladder"),
+    ("Engine hardening — graceful degradation", "degradation"),
+    ("Data plane — numpy backend speedup", "backend_speedup"),
+    ("Serving layer — service throughput", "service"),
+    ("Serving layer — sharded scatter-gather", "shards"),
+    ("Serving layer — shard transport", "transport"),
+    ("Self-healing — supervisor under faults", "supervisor"),
+    ("Estimator portfolio — cost-based planner", "estimator_portfolio"),
+    ("Live updates — epoch snapshots under churn", "live"),
+    ("Traffic harness — SLO load run", "slo"),
 ]
 
 
@@ -62,7 +75,9 @@ def run(command: list, description: str) -> float:
     return elapsed
 
 
-def assemble_report(test_seconds: float, bench_seconds: float) -> Path:
+def assemble_report(
+    test_seconds: float, bench_seconds: float
+) -> Path:
     """Concatenate the per-experiment outputs into REPORT.md."""
     lines = [
         "# Reproduction report",
@@ -71,7 +86,9 @@ def assemble_report(test_seconds: float, bench_seconds: float) -> Path:
         f"- test-suite time: {test_seconds:.1f}s"
         if test_seconds
         else "- test-suite: skipped",
-        f"- benchmark time: {bench_seconds:.1f}s",
+        f"- benchmark time: {bench_seconds:.1f}s"
+        if bench_seconds
+        else "- benchmarks: assembled from existing results (not rerun)",
         "",
         "Paper-vs-measured commentary lives in EXPERIMENTS.md; the raw",
         "regenerated tables follow.",
@@ -99,21 +116,28 @@ def main() -> int:
         "--skip-tests", action="store_true",
         help="run only the benchmarks",
     )
+    parser.add_argument(
+        "--assemble-only", action="store_true",
+        help="re-stitch REPORT.md from the tables already under "
+             "benchmarks/results/ without rerunning anything",
+    )
     args = parser.parse_args()
 
     test_seconds = 0.0
-    if not args.skip_tests:
-        test_seconds = run(
-            [sys.executable, "-m", "pytest", "tests/", "-q"],
-            "test suite",
+    bench_seconds = 0.0
+    if not args.assemble_only:
+        if not args.skip_tests:
+            test_seconds = run(
+                [sys.executable, "-m", "pytest", "tests/", "-q"],
+                "test suite",
+            )
+        bench_seconds = run(
+            [
+                sys.executable, "-m", "pytest", "benchmarks/",
+                "--benchmark-only", "-q",
+            ],
+            "benchmarks",
         )
-    bench_seconds = run(
-        [
-            sys.executable, "-m", "pytest", "benchmarks/",
-            "--benchmark-only", "-q",
-        ],
-        "benchmarks",
-    )
     report = assemble_report(test_seconds, bench_seconds)
     print(f"report written to {report}")
     return 0

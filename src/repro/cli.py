@@ -300,6 +300,70 @@ def build_parser() -> argparse.ArgumentParser:
                              "in-process service; 0 = p99-derived "
                              "(needs --shard-respawn)")
 
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="replayable production-traffic harness with an SLO report "
+        "(see repro.loadgen)",
+    )
+    loadgen.add_argument("--profile", default="mixed",
+                         help="workload profile name (see "
+                         "repro.loadgen.PROFILES); ignored with --replay")
+    loadgen.add_argument("--duration", type=float, default=10.0,
+                         help="run length in seconds; ignored with --replay")
+    loadgen.add_argument("--target-qps", type=float, default=20.0,
+                         help="mean open-loop arrival rate; the diurnal "
+                         "curve breathes around it; ignored with --replay")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="schedule seed: same profile + seed + shape "
+                         "gives the identical request stream")
+    loadgen.add_argument("--replay", default=None,
+                         help="replay a schedule JSON written by --record "
+                         "instead of generating one")
+    loadgen.add_argument("--record", default=None,
+                         help="write the generated schedule JSON here for "
+                         "later --replay")
+    loadgen.add_argument("--url", default=None,
+                         help="drive a running server (storms are skipped: "
+                         "fault injection is process-local)")
+    loadgen.add_argument("--graph", default=None,
+                         help="edge-list file: build an in-process service "
+                         "+ frontend and drive it over loopback")
+    loadgen.add_argument("--index", default=None,
+                         help="prebuilt index JSON for --graph")
+    loadgen.add_argument("--frontend", choices=("aio", "thread"),
+                         default="aio",
+                         help="in-process frontend flavour")
+    loadgen.add_argument("--workers", type=int, default=4,
+                         help="in-process service workers")
+    loadgen.add_argument("--max-in-flight", type=int, default=64,
+                         help="in-process service admission limit")
+    loadgen.add_argument("--shards", type=int, default=None,
+                         help="shard the in-process service's graph K ways")
+    loadgen.add_argument("--shard-mode", choices=("process", "inline"),
+                         default="process")
+    loadgen.add_argument("--no-live", action="store_true",
+                         help="disable the in-process update plane "
+                         "(update traffic will then 400)")
+    loadgen.add_argument("--max-client-in-flight", type=int, default=128,
+                         help="driver-side concurrent-socket cap; queue "
+                         "time behind it still counts as latency")
+    loadgen.add_argument("--timeout", type=float, default=30.0,
+                         help="per-request client timeout in seconds")
+    loadgen.add_argument("--report-out", default=None,
+                         help="write the SLO run report JSON here")
+    loadgen.add_argument("--gate-p50-ms", type=float, default=None,
+                         help="fail (exit 1) if p50 latency exceeds this")
+    loadgen.add_argument("--gate-p99-ms", type=float, default=None,
+                         help="fail (exit 1) if p99 latency exceeds this")
+    loadgen.add_argument("--gate-degraded-rate", type=float, default=None,
+                         help="fail (exit 1) if the degraded-answer rate "
+                         "exceeds this (also sets the error budget)")
+    loadgen.add_argument("--gate-error-rate", type=float, default=None,
+                         help="fail (exit 1) if the HTTP/transport error "
+                         "rate exceeds this")
+    loadgen.add_argument("--gate-min-qps", type=float, default=None,
+                         help="fail (exit 1) if achieved qps falls below")
+
     detect = commands.add_parser(
         "detect",
         help="two-terminal reliability detection (binary search on eta)",
@@ -844,6 +908,122 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+    from urllib.request import urlopen
+
+    from .loadgen import SLOTargets, drive, generate_schedule
+    from .loadgen.driver import DriveError
+    from .loadgen.generator import load_schedule, save_schedule
+
+    if args.url is None and args.graph is None:
+        print("need --graph (in-process) or --url", file=sys.stderr)
+        return 2
+
+    server = None
+    try:
+        if args.url is not None:
+            url = args.url.rstrip("/")
+            with urlopen(f"{url}/healthz", timeout=30) as response:
+                num_nodes = int(json.loads(response.read())["nodes"])
+            arm_storms = False
+        else:
+            args.live = not args.no_live
+            service = _build_service(args)
+            if args.frontend == "thread":
+                from .service.http_api import ServiceHTTPServer
+
+                server = ServiceHTTPServer(
+                    service, host="127.0.0.1", port=0
+                ).start()
+            else:
+                from .service.aio_gateway import AioGateway
+
+                server = AioGateway(
+                    service, host="127.0.0.1", port=0
+                ).start()
+            url = server.url
+            num_nodes = service.engine.graph.num_nodes
+            arm_storms = True
+
+        if args.replay is not None:
+            schedule = load_schedule(args.replay)
+        else:
+            schedule = generate_schedule(
+                args.profile,
+                seed=args.seed,
+                duration_seconds=args.duration,
+                target_qps=args.target_qps,
+                num_nodes=num_nodes,
+            )
+        if args.record is not None:
+            save_schedule(schedule, args.record)
+            print(f"recorded schedule -> {args.record}")
+        has_storm = any(
+            spec.kind == "storm_start" for spec in schedule.requests
+        )
+        if has_storm and not arm_storms:
+            print(
+                "note: fault storms are process-local; skipped against "
+                "a remote --url",
+                file=sys.stderr,
+            )
+
+        targets = SLOTargets(
+            p50_ms=args.gate_p50_ms,
+            p99_ms=args.gate_p99_ms,
+            degraded_rate=args.gate_degraded_rate,
+            error_rate=args.gate_error_rate,
+            min_qps=args.gate_min_qps,
+        )
+        try:
+            report = drive(
+                schedule,
+                url,
+                targets=targets,
+                arm_storms=arm_storms,
+                timeout_seconds=args.timeout,
+                max_in_flight=args.max_client_in_flight,
+            )
+        except DriveError as error:
+            print(f"loadgen failed: {error}", file=sys.stderr)
+            return 2
+    finally:
+        if server is not None:
+            server.stop()
+
+    if args.report_out is not None:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+
+    requests = report["requests"]
+    latency = report["latency_ms"]
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("profile", schedule.profile),
+                ("completed", requests["completed"]),
+                ("achieved qps", report["throughput"]["achieved_qps"]),
+                ("p50 ms", latency["p50"]),
+                ("p99 ms", latency["p99"]),
+                ("degraded rate", report["degraded"]["rate"]),
+                ("error rate", report["errors"]["rate"]),
+                ("shed rate", report["shed"]["rate"]),
+                ("cache hit rate", report["cache"]["hit_rate"]),
+                ("storms", requests["storms"]),
+            ],
+        )
+    )
+    gates = report["gates"]
+    if not gates["ok"]:
+        for breach in gates["breaches"]:
+            print(f"SLO BREACH: {breach}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "build-index": _cmd_build_index,
@@ -855,6 +1035,7 @@ _HANDLERS = {
     "serve": _cmd_serve,
     "update": _cmd_update,
     "bench-serve": _cmd_bench_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -1,0 +1,89 @@
+"""Production traffic harness: profiles → schedules → driver → SLO report.
+
+The package splits cleanly along the replay boundary:
+
+* :mod:`~repro.loadgen.profiles` — traffic *shapes* as data
+  (:class:`WorkloadProfile`, the named :data:`PROFILES` roster).
+* :mod:`~repro.loadgen.generator` — deterministic expansion of a
+  profile into a :class:`Schedule` of concrete request bodies
+  (same profile + seed → identical stream), plus JSON save/load for
+  ``--record`` / ``--replay``.
+* :mod:`~repro.loadgen.driver` — the open-loop asyncio driver that
+  holds scheduled arrival times against a running frontend.
+* :mod:`~repro.loadgen.slo` — :class:`SLOTracker` folding per-response
+  quality blocks and latencies into the structured run report, gated
+  by :class:`SLOTargets`.
+
+Imports are lazy (PEP 562) so ``import repro`` stays cheap for users
+who never generate load.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "DiurnalCurve",
+    "PROFILES",
+    "Schedule",
+    "SLOTargets",
+    "SLOTracker",
+    "StormSpec",
+    "WorkloadProfile",
+    "drive",
+    "generate_schedule",
+    "get_profile",
+    "load_schedule",
+    "save_schedule",
+]
+
+_EXPORTS = {
+    "DiurnalCurve": "profiles",
+    "PROFILES": "profiles",
+    "StormSpec": "profiles",
+    "WorkloadProfile": "profiles",
+    "get_profile": "profiles",
+    "Schedule": "generator",
+    "generate_schedule": "generator",
+    "load_schedule": "generator",
+    "save_schedule": "generator",
+    "drive": "driver",
+    "SLOTargets": "slo",
+    "SLOTracker": "slo",
+}
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .driver import drive
+    from .generator import (
+        Schedule,
+        generate_schedule,
+        load_schedule,
+        save_schedule,
+    )
+    from .profiles import (
+        PROFILES,
+        DiurnalCurve,
+        StormSpec,
+        WorkloadProfile,
+        get_profile,
+    )
+    from .slo import SLOTargets, SLOTracker
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

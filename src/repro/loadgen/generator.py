@@ -1,0 +1,317 @@
+"""Deterministic expansion of a profile into a replayable schedule.
+
+``generate_schedule(profile, ...)`` turns a
+:class:`~repro.loadgen.profiles.WorkloadProfile` into a concrete
+:class:`Schedule`: a time-ordered list of :class:`RequestSpec` entries,
+each carrying the exact JSON body the driver will put on the wire.
+Everything is drawn from one ``random.Random(seed)``, in one fixed
+order, so the acceptance contract holds by construction: *same profile
++ same seed + same shape parameters → byte-identical request
+sequence*.  A schedule also round-trips through JSON
+(:func:`save_schedule` / :func:`load_schedule`) so a recorded run can
+be replayed later — against a patched build, a different frontend, a
+different shard count — with the traffic held rigorously constant.
+
+Arrival times are open-loop: a non-homogeneous Poisson process whose
+instantaneous rate is ``target_qps`` scaled by the profile's diurnal
+curve.  The driver dispatches each request at its scheduled offset
+whether or not earlier ones completed — that is what distinguishes a
+load *generator* from a load *follower*, and what makes p99-under-
+pressure an honest number.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .profiles import StormSpec, WorkloadProfile, get_profile
+
+__all__ = [
+    "RequestSpec",
+    "Schedule",
+    "generate_schedule",
+    "load_schedule",
+    "save_schedule",
+]
+
+#: Schedule-file format version; bumped on incompatible changes.
+SCHEDULE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One scheduled event: a query, an update batch, or a storm edge.
+
+    *offset* is seconds from run start.  For ``kind="query"`` /
+    ``"update"``, *body* is the exact JSON object posted to the
+    frontend.  ``storm_start`` carries the seeded
+    :class:`~repro.resilience.faultinject.FaultPlan` parameters in
+    *body*; ``storm_end`` disarms it.
+    """
+
+    offset: float
+    kind: str  # "query" | "update" | "storm_start" | "storm_end"
+    body: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"offset": self.offset, "kind": self.kind, "body": self.body}
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A fully materialized request stream plus its provenance."""
+
+    profile: str
+    seed: int
+    duration_seconds: float
+    target_qps: float
+    num_nodes: int
+    requests: Tuple[RequestSpec, ...]
+
+    @property
+    def offered_qps(self) -> float:
+        """Scheduled query+update arrivals per second (storm edges are
+        control events, not traffic)."""
+        traffic = sum(
+            1 for spec in self.requests
+            if spec.kind in ("query", "update")
+        )
+        return traffic / self.duration_seconds if self.duration_seconds else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": SCHEDULE_VERSION,
+            "profile": self.profile,
+            "seed": self.seed,
+            "duration_seconds": self.duration_seconds,
+            "target_qps": self.target_qps,
+            "num_nodes": self.num_nodes,
+            "requests": [spec.as_dict() for spec in self.requests],
+        }
+
+
+class _ZipfRanks:
+    """Seedable Zipf-skewed rank sampler over a finite population.
+
+    Rank *k* (0-based) has weight ``1 / (k+1)^s``; a seeded permutation
+    maps ranks onto node ids so the "hub" nodes are scattered across
+    the id space instead of clustering at 0 (which would alias with
+    shard 0 and flatter the cache).
+    """
+
+    def __init__(
+        self, exponent: float, population: int, num_nodes: int,
+        rng: random.Random,
+    ) -> None:
+        population = min(population, num_nodes)
+        weights = [1.0 / (k + 1) ** exponent for k in range(population)]
+        total = 0.0
+        self._cumulative: List[float] = []
+        for weight in weights:
+            total += weight
+            self._cumulative.append(total)
+        self._total = total
+        # Node-id permutation drawn once, up front, from the shared rng
+        # (order matters for determinism: permutation first, draws
+        # later).
+        ids = list(range(num_nodes))
+        rng.shuffle(ids)
+        self._ids = ids[:population]
+
+    def draw(self, rng: random.Random) -> int:
+        mark = rng.random() * self._total
+        rank = bisect.bisect_left(self._cumulative, mark)
+        rank = min(rank, len(self._ids) - 1)
+        return self._ids[rank]
+
+
+def _weighted_choice(
+    rng: random.Random, items: Sequence[Tuple[str, float]], total: float
+) -> str:
+    mark = rng.random() * total
+    running = 0.0
+    for name, weight in items:
+        running += weight
+        if mark < running:
+            return name
+    return items[-1][0]
+
+
+def _query_body(
+    rng: random.Random,
+    profile: WorkloadProfile,
+    ranks: _ZipfRanks,
+    methods: Sequence[Tuple[str, float]],
+    method_total: float,
+    seed_stream: random.Random,
+) -> Dict[str, object]:
+    method = _weighted_choice(rng, methods, method_total)
+    sources = [ranks.draw(rng)]
+    if profile.multi_source_fraction and (
+        rng.random() < profile.multi_source_fraction
+    ):
+        extra = ranks.draw(rng)
+        if extra not in sources:
+            sources.append(extra)
+    body: Dict[str, object] = {
+        "sources": sources,
+        "eta": rng.choice(profile.eta_choices),
+        "method": method,
+    }
+    sampling = method in ("mc", "rss", "lazy", "auto")
+    if sampling:
+        body["num_samples"] = rng.choice(profile.num_samples_choices)
+        if rng.random() < profile.seeded_fraction:
+            body["seed"] = seed_stream.randrange(2**31)
+    if profile.budget_fraction and rng.random() < profile.budget_fraction:
+        body["deadline_ms"] = rng.choice(profile.deadline_ms_choices)
+    return body
+
+
+def _update_body(
+    rng: random.Random, profile: WorkloadProfile, num_nodes: int
+) -> Dict[str, object]:
+    ops: List[Dict[str, object]] = []
+    while len(ops) < profile.update_batch_size:
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v:
+            continue
+        if rng.random() < 0.8:
+            ops.append({
+                "op": "set", "u": u, "v": v,
+                "p": round(rng.uniform(0.05, 0.6), 3),
+            })
+        else:
+            # Deleting a possibly-absent arc is a documented no-op, so
+            # blind deletes are safe — and they exercise the idempotent
+            # branch of the update plane under real traffic.
+            ops.append({"op": "delete", "u": u, "v": v})
+    return {"updates": ops}
+
+
+def generate_schedule(
+    profile: Union[str, WorkloadProfile],
+    *,
+    seed: int,
+    duration_seconds: float,
+    target_qps: float,
+    num_nodes: int,
+) -> Schedule:
+    """Expand *profile* into a deterministic open-loop schedule.
+
+    All randomness flows from ``random.Random(seed)`` plus a derived
+    seed stream for per-query MC seeds, consumed in a fixed order —
+    identical inputs give an identical :class:`Schedule`, which the
+    determinism test asserts structurally.
+    """
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    if duration_seconds <= 0:
+        raise ValueError(
+            f"duration_seconds must be positive, got {duration_seconds}"
+        )
+    if target_qps <= 0:
+        raise ValueError(f"target_qps must be positive, got {target_qps}")
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+
+    rng = random.Random(seed)
+    # MC seeds come from a separate stream so adding/removing one draw
+    # elsewhere cannot shift every downstream query's world sampling.
+    seed_stream = random.Random(rng.randrange(2**63))
+    ranks = _ZipfRanks(
+        profile.zipf_exponent, profile.population, num_nodes, rng
+    )
+    methods = sorted(profile.method_weights.items())
+    method_total = sum(weight for _, weight in methods)
+    update_share = (
+        profile.update_weight / (1.0 + profile.update_weight)
+        if profile.update_weight else 0.0
+    )
+
+    requests: List[RequestSpec] = []
+    now = 0.0
+    while True:
+        fraction = min(now / duration_seconds, 1.0)
+        rate = target_qps * profile.diurnal.rate_multiplier(fraction)
+        rate = max(rate, 1e-9)
+        now += rng.expovariate(rate)
+        if now >= duration_seconds:
+            break
+        if update_share and rng.random() < update_share:
+            body = _update_body(rng, profile, num_nodes)
+            kind = "update"
+        else:
+            body = _query_body(
+                rng, profile, ranks, methods, method_total, seed_stream
+            )
+            kind = "query"
+        requests.append(RequestSpec(round(now, 6), kind, body))
+
+    if profile.storm is not None:
+        requests.extend(_storm_events(profile.storm, duration_seconds, seed))
+    requests.sort(key=lambda spec: (spec.offset, spec.kind))
+
+    return Schedule(
+        profile=profile.name,
+        seed=seed,
+        duration_seconds=duration_seconds,
+        target_qps=target_qps,
+        num_nodes=num_nodes,
+        requests=tuple(requests),
+    )
+
+
+def _storm_events(
+    storm: StormSpec, duration_seconds: float, seed: int
+) -> List[RequestSpec]:
+    start = round(storm.start_fraction * duration_seconds, 6)
+    end = round(storm.end_fraction * duration_seconds, 6)
+    return [
+        RequestSpec(start, "storm_start", {
+            "points": list(storm.points),
+            "probability": storm.probability,
+            "seed": seed ^ 0x5EED,
+        }),
+        RequestSpec(end, "storm_end", {}),
+    ]
+
+
+def save_schedule(schedule: Schedule, path: Union[str, Path]) -> None:
+    """Write a schedule as JSON for later ``--replay``."""
+    Path(path).write_text(
+        json.dumps(schedule.as_dict(), indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_schedule(path: Union[str, Path]) -> Schedule:
+    """Read a schedule saved by :func:`save_schedule`."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = raw.get("version")
+    if version != SCHEDULE_VERSION:
+        raise ValueError(
+            f"unsupported schedule version {version!r} "
+            f"(this build reads {SCHEDULE_VERSION})"
+        )
+    requests = tuple(
+        RequestSpec(
+            offset=float(spec["offset"]),
+            kind=str(spec["kind"]),
+            body=dict(spec.get("body", {})),
+        )
+        for spec in raw.get("requests", [])
+    )
+    return Schedule(
+        profile=str(raw["profile"]),
+        seed=int(raw["seed"]),
+        duration_seconds=float(raw["duration_seconds"]),
+        target_qps=float(raw["target_qps"]),
+        num_nodes=int(raw["num_nodes"]),
+        requests=requests,
+    )

@@ -1,0 +1,245 @@
+"""Workload profiles: the *shape* of production traffic, as data.
+
+A :class:`WorkloadProfile` describes a traffic mix the way an SRE would
+describe the service's real callers: how skewed the popular sources are
+(Zipf), how load breathes over the day (a diurnal rate curve), what
+fraction of requests are updates vs queries, which methods / eta values
+/ budgets the query population uses, and when a fault storm rips
+through mid-run.  Profiles are pure data — the deterministic expansion
+into a concrete request sequence lives in
+:mod:`repro.loadgen.generator`, so the same profile replayed with the
+same seed always yields the identical stream.
+
+The named profiles in :data:`PROFILES` cover the evidence ROADMAP item
+4 asks for:
+
+* ``steady``       — uniform-rate single-method reads; the control run.
+* ``mixed``        — the production stand-in: Zipf-skewed sources,
+  diurnal breathing, every estimator method in play (including
+  ``auto``), budgeted and unbudgeted queries, a 10% update stream, and
+  a fault storm through the middle third of the run.
+* ``read_heavy``   — cache-friendly repeats, no updates, no storms.
+* ``update_heavy`` — a churning graph (30% updates) under moderate
+  read load.
+* ``storm``        — the ``mixed`` request population with a longer,
+  harsher fault storm; the degraded-answer SLO's worst day.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["DiurnalCurve", "StormSpec", "WorkloadProfile", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class DiurnalCurve:
+    """A smooth rate multiplier over the run: ``1 + amplitude*sin(...)``.
+
+    *cycles* full sine periods span the run (a duration-relative clock,
+    not wall time — a 30-second bench and a 24-hour soak share the same
+    shape).  *amplitude* in ``[0, 1)`` keeps the rate positive; 0 is a
+    flat line.  *phase* shifts where in the "day" the run starts.
+    """
+
+    amplitude: float = 0.0
+    cycles: float = 1.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(
+                f"amplitude must be in [0, 1), got {self.amplitude}"
+            )
+        if self.cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {self.cycles}")
+
+    def rate_multiplier(self, fraction: float) -> float:
+        """The multiplier at *fraction* in ``[0, 1]`` of the run."""
+        return 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * self.cycles * fraction + self.phase
+        )
+
+
+@dataclass(frozen=True)
+class StormSpec:
+    """A mid-run fault storm: which injection points, when, how hard.
+
+    The generator turns this into ``storm_start`` / ``storm_end``
+    control events inside the schedule; the driver arms a seeded
+    :class:`~repro.resilience.faultinject.FaultPlan` between them.
+    *start_fraction* / *end_fraction* are duration-relative, so the
+    storm scales with ``--duration`` like everything else.
+    """
+
+    points: Tuple[str, ...] = ("mc.kernel.chunk",)
+    probability: float = 0.3
+    start_fraction: float = 0.4
+    end_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if not 0.0 <= self.start_fraction < self.end_fraction <= 1.0:
+            raise ValueError(
+                "storm window must satisfy 0 <= start < end <= 1, got "
+                f"[{self.start_fraction}, {self.end_fraction}]"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """One named traffic mix; see the module docstring for the roster.
+
+    Weights are relative, not normalized — ``{"lb": 3, "mc": 1}`` means
+    three lb queries per mc query in expectation.  ``eta_choices`` and
+    ``num_samples_choices`` are drawn uniformly (production etas cluster
+    on a few operator-chosen values, they are not continuous).
+    """
+
+    name: str
+    description: str
+    #: Zipf exponent for source/target rank draws; 0 = uniform.  Real
+    #: query logs are heavily skewed (a few hub nodes absorb most
+    #: traffic), which is what makes result caching worth measuring.
+    zipf_exponent: float = 1.1
+    #: How many distinct nodes the rank distribution covers; draws are
+    #: mapped onto actual node ids modulo the graph size at issue time.
+    population: int = 1024
+    diurnal: DiurnalCurve = field(default_factory=DiurnalCurve)
+    #: Relative weight of update batches vs queries (0 = read-only).
+    update_weight: float = 0.0
+    #: Arc-update ops per ``/update`` batch.
+    update_batch_size: int = 16
+    method_weights: Mapping[str, float] = field(
+        default_factory=lambda: {"lb": 1.0}
+    )
+    eta_choices: Tuple[float, ...] = (0.3, 0.5, 0.7)
+    num_samples_choices: Tuple[int, ...] = (256,)
+    #: Fraction of queries carrying a deadline budget, and the deadline
+    #: population (ms) they draw from.
+    budget_fraction: float = 0.0
+    deadline_ms_choices: Tuple[float, ...] = (50.0, 200.0)
+    #: Fraction of queries with more than one source node.
+    multi_source_fraction: float = 0.0
+    #: Fraction of seeded (replay-identical, cacheable) mc queries; the
+    #: rest of the mc traffic runs unseeded and uncacheable.
+    seeded_fraction: float = 1.0
+    storm: Optional[StormSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.zipf_exponent < 0:
+            raise ValueError(
+                f"zipf_exponent must be >= 0, got {self.zipf_exponent}"
+            )
+        if self.population < 1:
+            raise ValueError(
+                f"population must be >= 1, got {self.population}"
+            )
+        if not self.method_weights:
+            raise ValueError("method_weights must not be empty")
+        for mapping_name, fraction in (
+            ("update_weight", self.update_weight),
+            ("budget_fraction", self.budget_fraction),
+            ("multi_source_fraction", self.multi_source_fraction),
+            ("seeded_fraction", self.seeded_fraction),
+        ):
+            if fraction < 0 or (
+                mapping_name != "update_weight" and fraction > 1
+            ):
+                raise ValueError(
+                    f"{mapping_name} out of range: {fraction}"
+                )
+
+
+def _mixed_methods() -> Dict[str, float]:
+    return {"lb": 4.0, "lb+": 1.0, "auto": 2.0, "mc": 1.0, "rss": 0.5,
+            "lazy": 0.5}
+
+
+PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (
+        WorkloadProfile(
+            name="steady",
+            description="uniform-rate lb reads; the control run",
+            zipf_exponent=0.0,
+            diurnal=DiurnalCurve(amplitude=0.0),
+        ),
+        WorkloadProfile(
+            name="mixed",
+            description=(
+                "production stand-in: Zipf sources, diurnal load, all "
+                "methods, 10% updates, mid-run fault storm"
+            ),
+            zipf_exponent=1.1,
+            diurnal=DiurnalCurve(amplitude=0.5, cycles=1.0),
+            update_weight=0.1,
+            method_weights=_mixed_methods(),
+            eta_choices=(0.3, 0.5, 0.7),
+            num_samples_choices=(128, 256),
+            budget_fraction=0.25,
+            deadline_ms_choices=(50.0, 250.0),
+            multi_source_fraction=0.1,
+            seeded_fraction=0.7,
+            storm=StormSpec(
+                points=("mc.kernel.chunk", "shard.handle"),
+                probability=0.25,
+                start_fraction=0.4,
+                end_fraction=0.6,
+            ),
+        ),
+        WorkloadProfile(
+            name="read_heavy",
+            description="cache-friendly skewed repeats, no writes",
+            zipf_exponent=1.4,
+            population=128,
+            diurnal=DiurnalCurve(amplitude=0.3),
+            method_weights={"lb": 6.0, "lb+": 1.0, "mc": 1.0},
+            seeded_fraction=1.0,
+        ),
+        WorkloadProfile(
+            name="update_heavy",
+            description="churning graph: 30% update batches",
+            zipf_exponent=0.8,
+            update_weight=0.3,
+            update_batch_size=24,
+            method_weights={"lb": 3.0, "auto": 1.0},
+        ),
+        WorkloadProfile(
+            name="storm",
+            description=(
+                "mixed population under a long, harsh fault storm"
+            ),
+            zipf_exponent=1.1,
+            diurnal=DiurnalCurve(amplitude=0.4),
+            update_weight=0.1,
+            method_weights=_mixed_methods(),
+            budget_fraction=0.25,
+            multi_source_fraction=0.1,
+            seeded_fraction=0.7,
+            storm=StormSpec(
+                points=(
+                    "mc.kernel.chunk", "shard.handle", "shard.update",
+                ),
+                probability=0.5,
+                start_fraction=0.25,
+                end_fraction=0.75,
+            ),
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a named profile; raises ``KeyError`` with the roster."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name!r}; known: {sorted(PROFILES)}"
+        ) from None

@@ -53,6 +53,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ReproError
@@ -60,6 +61,7 @@ from .server import ReliabilityService
 from .wire import (
     BadRequest,
     _decode_object,
+    observe_request,
     parse_query_body,
     parse_query_object,
     parse_update_body,
@@ -316,9 +318,11 @@ class AioGateway:
             keep_alive = (
                 headers.get("connection", "keep-alive").lower() != "close"
             )
-            done = await self._dispatch(
+            started = time.perf_counter()
+            done, status = await self._dispatch(
                 writer, method, path, body, keep_alive
             )
+            observe_request(path, status, time.perf_counter() - started)
             if not keep_alive or done:
                 return
 
@@ -329,8 +333,8 @@ class AioGateway:
         path: str,
         body: bytes,
         keep_alive: bool,
-    ) -> bool:
-        """Route one request; returns True if the connection must close."""
+    ) -> Tuple[bool, int]:
+        """Route one request; returns ``(must_close, status)``."""
         if method == "GET" and path == "/healthz":
             engine = self._service.engine
             health = {
@@ -355,33 +359,33 @@ class AioGateway:
             await self._write_response(
                 writer, 200, health, keep_alive=keep_alive
             )
-            return False
+            return False, 200
         if method == "GET" and path == "/metrics":
             await self._write_response(
                 writer, 200, self._service.metrics_snapshot(),
                 keep_alive=keep_alive,
             )
-            return False
+            return False, 200
         if method == "POST" and path == "/query":
             status, payload, retry_after = await self._run_query(body)
             await self._write_response(
                 writer, status, payload,
                 keep_alive=keep_alive, retry_after=retry_after,
             )
-            return False
+            return False, status
         if method == "POST" and path == "/update":
             status, payload = await self._run_update(body)
             await self._write_response(
                 writer, status, payload, keep_alive=keep_alive
             )
-            return False
+            return False, status
         if method == "POST" and path == "/batch":
             return await self._run_batch(writer, body, keep_alive)
         await self._write_response(
             writer, 404, {"error": f"unknown path {path!r}"},
             keep_alive=keep_alive,
         )
-        return False
+        return False, 404
 
     # ------------------------------------------------------------------
     # Query execution
@@ -442,7 +446,7 @@ class AioGateway:
         writer: asyncio.StreamWriter,
         body: bytes,
         keep_alive: bool,
-    ) -> bool:
+    ) -> Tuple[bool, int]:
         """``POST /batch``: submit all queries, stream results in order.
 
         Submitting everything before awaiting anything is what lets the
@@ -461,7 +465,7 @@ class AioGateway:
             await self._write_response(
                 writer, 400, {"error": str(error)}, keep_alive=keep_alive
             )
-            return False
+            return False, 400
         futures: List[object] = []
         for query in queries:
             try:
@@ -495,7 +499,7 @@ class AioGateway:
             await writer.drain()
         writer.write(b"0\r\n\r\n")
         await writer.drain()
-        return False
+        return False, 200
 
     # ------------------------------------------------------------------
     # Response writing

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
@@ -37,6 +38,7 @@ from ..errors import ReproError
 from .server import ReliabilityService
 from .wire import (
     BadRequest,
+    observe_request,
     parse_query_body,
     parse_update_body,
     result_to_json,
@@ -82,9 +84,13 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+        observe_request(
+            self.path, status, time.perf_counter() - self._started
+        )
 
     # -- endpoints -----------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._started = time.perf_counter()
         if self.path == "/healthz":
             engine = self._service.engine
             health = {
@@ -112,6 +118,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._started = time.perf_counter()
         # ALWAYS drain the request body first, whatever the path: with
         # keep-alive, an unread body would be parsed as the next
         # request line, desynchronizing every later exchange on the

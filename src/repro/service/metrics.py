@@ -154,32 +154,54 @@ class Histogram:
         return self._sum
 
     def quantile(self, q: float) -> float:
-        """Estimated *q*-quantile (0 < q <= 1) of the observations."""
-        if not 0.0 < q <= 1.0:
-            raise ValueError(f"q must be in (0, 1], got {q}")
+        """Estimated *q*-quantile (0 <= q <= 1) of the observations.
+
+        ``q=0`` is the observed minimum and ``q=1`` the observed
+        maximum, exactly; anything in between is linearly interpolated
+        inside the containing bucket.  An empty histogram answers
+        ``0.0`` for every *q* — SLO reports read quantiles before the
+        first request lands, and that must not raise.
+        """
         with self._lock:
-            if self._count == 0:
-                return 0.0
-            observed_min = self._min if self._min is not None else 0.0
-            observed_max = self._max if self._max is not None else 0.0
-            rank = q * self._count
-            cumulative = 0
-            lower = observed_min
-            for index, count in enumerate(self._counts):
-                if count == 0:
-                    continue
-                upper = (
-                    min(self.buckets[index], observed_max)
-                    if index < len(self.buckets)
-                    else observed_max
-                )
-                upper = max(upper, lower)
-                if cumulative + count >= rank:
-                    fraction = (rank - cumulative) / count
-                    return lower + fraction * (upper - lower)
-                cumulative += count
-                lower = upper
-            return observed_max
+            return self._quantile_locked(q)
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        """Several quantiles under one lock acquisition.
+
+        SLO windows export p50/p90/p99 together; computing them in one
+        pass keeps the snapshot internally consistent (no observation
+        can land between the p50 and the p99 of the same export).
+        """
+        with self._lock:
+            return [self._quantile_locked(q) for q in qs]
+
+    def _quantile_locked(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        observed_min = self._min if self._min is not None else 0.0
+        observed_max = self._max if self._max is not None else 0.0
+        if q == 0.0:
+            return observed_min
+        rank = q * self._count
+        cumulative = 0
+        lower = observed_min
+        for index, count in enumerate(self._counts):
+            if count == 0:
+                continue
+            upper = (
+                min(self.buckets[index], observed_max)
+                if index < len(self.buckets)
+                else observed_max
+            )
+            upper = max(upper, lower)
+            if cumulative + count >= rank:
+                fraction = (rank - cumulative) / count
+                return lower + fraction * (upper - lower)
+            cumulative += count
+            lower = upper
+        return observed_max
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-able summary of the histogram state."""

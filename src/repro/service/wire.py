@@ -20,6 +20,7 @@ from ..resilience.budget import QueryBudget
 
 __all__ = [
     "BadRequest",
+    "observe_request",
     "parse_query_body",
     "parse_update_body",
     "result_to_json",
@@ -79,6 +80,41 @@ def result_to_json(result: QueryResult) -> Dict[str, object]:
             "epoch": result.epoch,
         },
     }
+
+
+#: Known endpoint paths; anything else is bucketed as ``other`` so a
+#: scanner probing random URLs cannot mint unbounded metric names.
+_KNOWN_PATHS = frozenset(
+    {"/query", "/update", "/batch", "/metrics", "/healthz"}
+)
+
+
+def observe_request(path: str, status: int, seconds: float) -> None:
+    """Record one HTTP exchange into the ``service.http.*`` namespace.
+
+    Both frontends call this once per request, after the response is
+    fully written, so the latency includes serialization and the socket
+    write — the number a client-side SLO actually experiences minus the
+    network.  Recorded instruments:
+
+    * ``service.http.requests`` — every exchange;
+    * ``service.http.request_seconds`` — end-to-end handler latency
+      (one histogram across endpoints; per-endpoint splits come from
+      the counters, which are enough to attribute a shift);
+    * ``service.http.path.<endpoint>`` — per-endpoint request count
+      (``query`` / ``update`` / ``batch`` / ``metrics`` / ``healthz``
+      / ``other``);
+    * ``service.http.status.<class>`` — response-status class
+      (``2xx`` / ``4xx`` / ``5xx``).
+    """
+    from .metrics import get_registry
+
+    registry = get_registry()
+    registry.counter("service.http.requests").inc()
+    registry.histogram("service.http.request_seconds").observe(seconds)
+    endpoint = path.lstrip("/") if path in _KNOWN_PATHS else "other"
+    registry.counter(f"service.http.path.{endpoint}").inc()
+    registry.counter(f"service.http.status.{status // 100}xx").inc()
 
 
 #: Jitter source for Retry-After hints.  Advisory wall-clock backoff is

@@ -1,0 +1,95 @@
+"""Anti-rot diff between docs/METRICS.md and the code's metric names.
+
+The metrics reference is only useful if it is *complete* and *current*,
+so this test scrapes every literal instrument registration in ``src/``
+(``counter("...")`` / ``gauge("...")`` / ``histogram("...")``,
+including f-strings) and diffs the set against the names documented in
+the tables of ``docs/METRICS.md`` — in both directions:
+
+* an undocumented registration fails (new metrics must be documented);
+* a documented name with no registration fails (renames and removals
+  must update the doc).
+
+Dynamic f-string segments (``{method}``, ``{shard_id}``) and the doc's
+``<angle bracket>`` placeholders are both normalized to ``*`` so the
+comparison is on the stable shape of the name, not the label value.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+DOC_PATH = REPO_ROOT / "docs" / "METRICS.md"
+
+#: Literal (and f-string) instrument registrations in the library.
+_REGISTRATION = re.compile(
+    r"\b(?:counter|gauge|histogram)\(\s*f?\"([^\"]+)\""
+)
+#: First backtick-quoted cell of a Markdown table row.
+_DOC_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|", re.MULTILINE)
+
+
+def _normalize_source(name: str) -> str:
+    """``shard.{shard_id}.queries`` -> ``shard.*.queries`` etc."""
+    return re.sub(r"\{[^}]+\}", "*", name)
+
+
+def _normalize_doc(name: str) -> str:
+    """``shard.<shard>.queries`` -> ``shard.*.queries`` etc."""
+    return re.sub(r"<[^>]+>", "*", name)
+
+
+def _source_names() -> set:
+    names = set()
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        for match in _REGISTRATION.findall(
+            path.read_text(encoding="utf-8")
+        ):
+            # "{status // 100}xx" normalizes to "*xx"; fold the literal
+            # suffix into the wildcard so doc placeholders line up.
+            names.add(
+                re.sub(r"\*xx$", "*", _normalize_source(match))
+            )
+    return names
+
+
+def _documented_names() -> set:
+    return {
+        re.sub(r"\*xx$", "*", _normalize_doc(match))
+        for match in _DOC_ROW.findall(
+            DOC_PATH.read_text(encoding="utf-8")
+        )
+        if match != "metric"  # the table header row
+    }
+
+
+def test_every_registered_metric_is_documented():
+    missing = _source_names() - _documented_names()
+    assert not missing, (
+        "metrics registered in src/ but absent from docs/METRICS.md "
+        f"(add a table row): {sorted(missing)}"
+    )
+
+
+def test_every_documented_metric_is_registered():
+    stale = _documented_names() - _source_names()
+    assert not stale, (
+        "metrics documented in docs/METRICS.md but never registered "
+        f"in src/ (rename or remove the row): {sorted(stale)}"
+    )
+
+
+def test_the_scrape_actually_found_the_stack():
+    """Guard the guard: if the registration regex ever stops matching
+    the codebase idiom, both diffs above would trivially pass on empty
+    sets.  Anchor a few names that exist for as long as the serving
+    stack does."""
+    names = _source_names()
+    for anchor in ("service.submitted", "service.http.requests",
+                   "engine.queries", "shard.supervisor.respawns",
+                   "live.epoch", "loadgen.requests"):
+        assert anchor in names, anchor
+    assert len(names) > 40

@@ -475,8 +475,12 @@ def test_histogram_validation():
         Histogram("h", buckets=[2.0, 1.0])
     histogram = Histogram("h")
     with pytest.raises(ValueError, match="q must be"):
-        histogram.quantile(0.0)
-    assert histogram.quantile(0.5) == 0.0  # empty histogram
+        histogram.quantile(-0.1)
+    with pytest.raises(ValueError, match="q must be"):
+        histogram.quantile(1.1)
+    # the closed endpoints are valid: q=0 -> observed min, q=1 -> max
+    assert histogram.quantile(0.0) == 0.0  # empty histogram
+    assert histogram.quantile(0.5) == 0.0
 
 
 def test_registry_snapshot_and_name_collisions(fresh_registry):
